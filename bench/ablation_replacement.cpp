@@ -1,0 +1,64 @@
+// Ablation B: replacement-policy design space for the I/O-node cache.
+// The paper's §5: "Replacement policies other than LRU or FIFO should be
+// developed ... to optimize for interprocess locality."  We compare LRU,
+// FIFO, and our interprocess-aware prototype across cache sizes.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+double run(std::size_t buffers, cache::Policy policy) {
+  auto& ctx = Context::instance();
+  cache::IoNodeSimConfig cfg;
+  cfg.total_buffers = buffers;
+  cfg.policy = policy;
+  cfg.io_nodes = 10;
+  return cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg)
+      .hit_rate;
+}
+
+void reproduce() {
+  util::Table t({"4K buffers", "LRU", "FIFO", "IP-aware"});
+  double best_gain = 0.0;
+  std::size_t best_at = 0;
+  for (std::size_t buffers : {100u, 250u, 500u, 1000u, 2000u, 4000u, 8000u}) {
+    const double lru = run(buffers, cache::Policy::kLru);
+    const double fifo = run(buffers, cache::Policy::kFifo);
+    const double ip = run(buffers, cache::Policy::kInterprocessAware);
+    t.add_row({std::to_string(buffers), util::fmt(lru, 3),
+               util::fmt(fifo, 3), util::fmt(ip, 3)});
+    if (ip - lru > best_gain) {
+      best_gain = ip - lru;
+      best_at = buffers;
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  Comparison cmp("Ablation B: replacement policies");
+  cmp.row("paper position", "LRU beats FIFO; better policies should exist",
+          best_gain > 0
+              ? "IP-aware beats LRU by " +
+                    util::fmt(best_gain * 100.0, 2) + " points at " +
+                    std::to_string(best_at) + " buffers"
+              : "IP-aware never beats LRU on this trace");
+  cmp.print();
+}
+
+void BM_PolicySim(benchmark::State& state) {
+  auto& ctx = Context::instance();
+  cache::IoNodeSimConfig cfg;
+  cfg.total_buffers = 2000;
+  cfg.io_nodes = 10;
+  cfg.policy = static_cast<cache::Policy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg));
+  }
+}
+BENCHMARK(BM_PolicySim)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Ablation B (replacement policies)",
+                    charisma::bench::reproduce)

@@ -1,0 +1,90 @@
+#include "common.hpp"
+
+namespace charisma::bench {
+
+Context& Context::instance() {
+  static Context ctx;
+  return ctx;
+}
+
+void Context::configure(double scale, std::uint64_t seed) {
+  scale_ = scale;
+  seed_ = seed;
+}
+
+void Context::ensure() {
+  if (built_) return;
+  std::printf("[charisma] running study at scale %.3f (seed %llu)...\n",
+              scale_, static_cast<unsigned long long>(seed_));
+  std::fflush(stdout);
+  study_ = core::run_study_at_scale(scale_, seed_);
+  store_.emplace(study_->sorted);
+  read_only_ = store_->read_only_sessions();
+  std::printf("[charisma] %zu trace events, %zu file sessions\n\n",
+              study_->sorted.records.size(), store_->sessions().size());
+  built_ = true;
+}
+
+const core::StudyOutput& Context::study() {
+  ensure();
+  return *study_;
+}
+
+const analysis::SessionStore& Context::store() {
+  ensure();
+  return *store_;
+}
+
+const std::set<cache::SessionKey>& Context::read_only() {
+  ensure();
+  return *read_only_;
+}
+
+Comparison::Comparison(std::string title)
+    : title_(std::move(title)),
+      table_({"metric", "paper (1994)", "this reproduction"}) {}
+
+Comparison& Comparison::row(const std::string& metric,
+                            const std::string& paper,
+                            const std::string& measured) {
+  table_.add_row({metric, paper, measured});
+  return *this;
+}
+
+Comparison& Comparison::row(const std::string& metric, double paper,
+                            double measured, int precision) {
+  return row(metric, util::fmt(paper, precision),
+             util::fmt(measured, precision));
+}
+
+Comparison& Comparison::percent_row(const std::string& metric,
+                                    double paper_fraction,
+                                    double measured_fraction) {
+  return row(metric, util::fmt(paper_fraction * 100.0) + "%",
+             util::fmt(measured_fraction * 100.0) + "%");
+}
+
+void Comparison::print() const {
+  std::printf("=== %s ===\n%s\n", title_.c_str(), table_.render().c_str());
+  std::fflush(stdout);
+}
+
+int bench_main(int argc, char** argv, const char* experiment,
+               void (*reproduce)()) {
+  util::Flags flags(argc, argv, {"scale", "seed"});
+  Context::instance().configure(
+      flags.get_double("scale", 0.2),
+      static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  std::printf("==========================================================\n");
+  std::printf("CHARISMA reproduction: %s\n", experiment);
+  std::printf("==========================================================\n");
+  reproduce();
+
+  int bench_argc = flags.remaining_argc();
+  benchmark::Initialize(&bench_argc, flags.remaining().data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace charisma::bench

@@ -1,0 +1,78 @@
+// Shared scaffolding for the per-figure/table bench binaries.
+//
+// Every binary:
+//   1. runs the CHARISMA study once at --scale (default 0.2, --seed 42),
+//   2. prints the paper-vs-measured reproduction rows for its experiment,
+//   3. runs google-benchmark timings of the underlying kernel.
+//
+// Absolute counts scale with --scale; all percentages/shapes are
+// scale-invariant, which is what the comparisons check.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzers.hpp"
+#include "analysis/paper.hpp"
+#include "cache/simulators.hpp"
+#include "core/study.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace charisma::bench {
+
+/// The study shared by one binary's reproduction output and benchmarks.
+class Context {
+ public:
+  static Context& instance();
+
+  /// Must be called once from main() before use.
+  void configure(double scale, std::uint64_t seed);
+
+  [[nodiscard]] const core::StudyOutput& study();
+  [[nodiscard]] const analysis::SessionStore& store();
+  [[nodiscard]] const std::set<cache::SessionKey>& read_only();
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  void ensure();
+
+  double scale_ = 0.2;
+  std::uint64_t seed_ = 42;
+  bool built_ = false;
+  std::optional<core::StudyOutput> study_;
+  std::optional<analysis::SessionStore> store_;
+  std::optional<std::set<cache::SessionKey>> read_only_;
+};
+
+/// A two-column paper-vs-measured comparison table builder.
+class Comparison {
+ public:
+  explicit Comparison(std::string title);
+  Comparison& row(const std::string& metric, const std::string& paper,
+                  const std::string& measured);
+  Comparison& row(const std::string& metric, double paper, double measured,
+                  int precision = 1);
+  Comparison& percent_row(const std::string& metric, double paper_fraction,
+                          double measured_fraction);
+  void print() const;
+
+ private:
+  std::string title_;
+  util::Table table_;
+};
+
+/// Standard main body: parses --scale/--seed, calls `reproduce`, then runs
+/// the registered benchmarks with the remaining argv.
+int bench_main(int argc, char** argv, const char* experiment,
+               void (*reproduce)());
+
+}  // namespace charisma::bench
+
+#define CHARISMA_BENCH_MAIN(experiment, reproduce_fn)                \
+  int main(int argc, char** argv) {                                  \
+    return charisma::bench::bench_main(argc, argv, experiment,       \
+                                       reproduce_fn);                \
+  }

@@ -1,0 +1,38 @@
+// Figure 1: amount of time the machine spent with N jobs running.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result = analysis::analyze_job_concurrency(
+      Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  Comparison cmp("Figure 1: concurrent jobs");
+  cmp.percent_row("machine idle (0 jobs)", analysis::paper::kIdleFraction,
+                  result.idle_fraction);
+  cmp.percent_row("multiprogrammed (>1 job)",
+                  analysis::paper::kMultiprogrammedFraction,
+                  result.multiprogrammed_fraction);
+  cmp.row("max concurrent jobs", analysis::paper::kMaxConcurrentJobs,
+          result.max_concurrent, 0);
+  cmp.print();
+}
+
+void BM_JobConcurrencyAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_job_concurrency(store));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(store.job_events().size()) *
+      state.iterations());
+}
+BENCHMARK(BM_JobConcurrencyAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 1 (job concurrency)",
+                    charisma::bench::reproduce)

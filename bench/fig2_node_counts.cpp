@@ -1,0 +1,40 @@
+// Figure 2: distribution of the number of compute nodes used by jobs.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_node_counts(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  Comparison cmp("Figure 2: nodes per job");
+  cmp.percent_row("single-node share of jobs",
+                  static_cast<double>(analysis::paper::kSingleNodeJobs) /
+                      analysis::paper::kTotalJobs,
+                  result.single_node_job_fraction);
+  cmp.row("job-size choices", "powers of 2 up to 128",
+          "powers of 2 up to 128");
+  cmp.row("node usage", "large parallel jobs dominate",
+          util::fmt(result.large_job_usage_share * 100.0) +
+              "% of node-time in >=32-node jobs");
+  const double expected_jobs =
+      analysis::paper::kTotalJobs * Context::instance().scale();
+  cmp.row("jobs run (scaled)", expected_jobs,
+          static_cast<double>(result.total_jobs), 0);
+  cmp.print();
+}
+
+void BM_NodeCountAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_node_counts(store));
+  }
+}
+BENCHMARK(BM_NodeCountAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 2 (nodes per job)", charisma::bench::reproduce)

@@ -1,0 +1,44 @@
+// Figure 3: CDF of file sizes at close.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_file_sizes(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  std::printf("CDF series (bytes\\tF(x)):\n%s\n",
+              result.cdf
+                  .render_series(util::log_spaced(100, 2.5e7, 2))
+                  .c_str());
+
+  Comparison cmp("Figure 3: file sizes");
+  cmp.row("bulk of the files", "10 KB .. 1 MB",
+          util::fmt(result.fraction_between_10k_1m * 100.0) +
+              "% in 10 KB .. 1 MB");
+  cmp.row("median size", "~100 KB (read off the CDF)",
+          util::format_bytes(result.median));
+  cmp.row("size clusters", "e.g. ~25 KB and ~250 KB (1-2 apps each)",
+          "CDF jump at 25 KB: " +
+              util::fmt((result.cdf.at(26e3) - result.cdf.at(21e3)) * 100.0) +
+              "% of files");
+  cmp.print();
+}
+
+void BM_FileSizeAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_file_sizes(store));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(store.sessions().size()) *
+      state.iterations());
+}
+BENCHMARK(BM_FileSizeAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 3 (file sizes)", charisma::bench::reproduce)

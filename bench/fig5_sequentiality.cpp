@@ -1,0 +1,51 @@
+// Figure 5: CDF of sequential access to files on a per-node basis.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_sequentiality(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  const auto series = [](const util::Cdf& cdf) {
+    return cdf.render_series({0.0, 0.2, 0.4, 0.6, 0.8, 0.999, 1.0});
+  };
+  std::printf("read-only %% sequential CDF:\n%s\n",
+              series(result.read_only.sequential_cdf).c_str());
+  std::printf("write-only %% sequential CDF:\n%s\n",
+              series(result.write_only.sequential_cdf).c_str());
+  std::printf("read-write %% sequential CDF:\n%s\n",
+              series(result.read_write.sequential_cdf).c_str());
+
+  Comparison cmp("Figure 5: sequentiality");
+  cmp.row("shape", "spikes at 0% and 100%",
+          "0%: " + util::fmt(result.read_only.zero_sequential * 100.0) +
+              "% (RO), 100%: " +
+              util::fmt(result.read_only.fully_sequential * 100.0) +
+              "% (RO)");
+  cmp.row("read-only files", "by far most 100% sequential",
+          util::fmt(result.read_only.fully_sequential * 100.0) +
+              "% fully sequential");
+  cmp.row("write-only files", "by far most 100% sequential",
+          util::fmt(result.write_only.fully_sequential * 100.0) +
+              "% fully sequential");
+  cmp.row("read-write files", "primarily non-sequential",
+          util::fmt(result.read_write.fully_sequential * 100.0) +
+              "% fully sequential");
+  cmp.print();
+}
+
+void BM_SequentialityAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_sequentiality(store));
+  }
+}
+BENCHMARK(BM_SequentialityAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 5 (sequential access)", charisma::bench::reproduce)

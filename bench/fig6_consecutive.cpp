@@ -1,0 +1,49 @@
+// Figure 6: CDF of consecutive access to files on a per-node basis.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_sequentiality(Context::instance().store());
+
+  const auto series = [](const util::Cdf& cdf) {
+    return cdf.render_series({0.0, 0.2, 0.4, 0.6, 0.8, 0.999, 1.0});
+  };
+  std::printf("read-only %% consecutive CDF:\n%s\n",
+              series(result.read_only.consecutive_cdf).c_str());
+  std::printf("write-only %% consecutive CDF:\n%s\n",
+              series(result.write_only.consecutive_cdf).c_str());
+  std::printf("read-write %% consecutive CDF:\n%s\n",
+              series(result.read_write.consecutive_cdf).c_str());
+
+  Comparison cmp("Figure 6: consecutive access");
+  cmp.percent_row("write-only files 100% consecutive",
+                  analysis::paper::kWriteOnlyFullyConsecutive,
+                  result.write_only.fully_consecutive);
+  cmp.percent_row("read-only files 100% consecutive",
+                  analysis::paper::kReadOnlyFullyConsecutive,
+                  result.read_only.fully_consecutive);
+  cmp.row("non-consecutive sequential read-only files",
+          "interleaved access (bytes skipped between requests)",
+          util::fmt((result.read_only.fully_sequential -
+                     result.read_only.fully_consecutive) *
+                    100.0) +
+              "% sequential-but-not-consecutive");
+  cmp.print();
+}
+
+void BM_ConsecutiveAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_sequentiality(store));
+  }
+}
+BENCHMARK(BM_ConsecutiveAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 6 (consecutive access)",
+                    charisma::bench::reproduce)

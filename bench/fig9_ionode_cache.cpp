@@ -1,0 +1,83 @@
+// Figure 9: trace-driven simulation of I/O-node caching — hit rate vs
+// number of 4 KB buffers, LRU vs FIFO, 1..20 I/O nodes.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+double run(std::size_t buffers, cache::Policy policy, int io_nodes) {
+  auto& ctx = Context::instance();
+  cache::IoNodeSimConfig cfg;
+  cfg.total_buffers = buffers;
+  cfg.policy = policy;
+  cfg.io_nodes = io_nodes;
+  return cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg)
+      .hit_rate;
+}
+
+void reproduce() {
+  // The paper's main curve: hit rate vs total buffers, 10 I/O nodes.
+  util::Table curve({"4K buffers", "LRU hit rate", "FIFO hit rate"});
+  double lru90 = -1, fifo90 = -1;
+  const double plateau = run(25000, cache::Policy::kLru, 10);
+  for (std::size_t buffers :
+       {100u, 250u, 500u, 1000u, 2000u, 4000u, 8000u, 16000u, 25000u}) {
+    const double lru = run(buffers, cache::Policy::kLru, 10);
+    const double fifo = run(buffers, cache::Policy::kFifo, 10);
+    curve.add_row({std::to_string(buffers), util::fmt(lru, 3),
+                   util::fmt(fifo, 3)});
+    if (lru90 < 0 && lru >= 0.9 * plateau) {
+      lru90 = static_cast<double>(buffers);
+    }
+    if (fifo90 < 0 && fifo >= 0.9 * plateau) {
+      fifo90 = static_cast<double>(buffers);
+    }
+  }
+  std::printf("%s\n", curve.render().c_str());
+
+  // Sensitivity to the number of I/O nodes the buffers are spread over.
+  util::Table spread({"I/O nodes", "LRU hit rate (4000 buffers)"});
+  for (int io : {1, 2, 5, 10, 20}) {
+    spread.add_row({std::to_string(io),
+                    util::fmt(run(4000, cache::Policy::kLru, io), 3)});
+  }
+  std::printf("%s\n", spread.render().c_str());
+
+  Comparison cmp("Figure 9: I/O-node caching");
+  cmp.row("LRU buffers to approach the plateau", "~4000",
+          lru90 > 0 ? util::fmt(lru90, 0) : ">25000");
+  cmp.row("FIFO needs more buffers than LRU", "~20000 for the same hit rate",
+          fifo90 > 0 ? util::fmt(fifo90, 0) : ">25000");
+  cmp.row("hit rate at 4000 buffers (LRU)", "~90%",
+          util::fmt(run(4000, cache::Policy::kLru, 10) * 100.0) + "%");
+  cmp.row("sensitivity to I/O-node split", "little difference",
+          util::fmt((run(4000, cache::Policy::kLru, 1) -
+                     run(4000, cache::Policy::kLru, 20)) *
+                        100.0,
+                    2) +
+              " points between 1 and 20 I/O nodes");
+  cmp.print();
+}
+
+void BM_IoNodeCacheSim(benchmark::State& state) {
+  auto& ctx = Context::instance();
+  cache::IoNodeSimConfig cfg;
+  cfg.total_buffers = static_cast<std::size_t>(state.range(0));
+  cfg.policy = state.range(1) == 0 ? cache::Policy::kLru : cache::Policy::kFifo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ctx.study().sorted.records.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_IoNodeCacheSim)
+    ->Args({4000, 0})
+    ->Args({4000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Figure 9 (I/O-node caching)", charisma::bench::reproduce)

@@ -1,0 +1,35 @@
+// §4.6: CFS I/O-mode usage — over 99% of files used mode 0.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_mode_usage(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  Comparison cmp("S4.6: synchronization / I/O modes");
+  cmp.percent_row("files opened in mode 0 (independent pointers)",
+                  analysis::paper::kMode0Fraction, result.mode0_fraction);
+  cmp.row("why", "1-2 request/interval sizes, but often more than one",
+          "shared pointers used by " +
+              std::to_string(result.sessions_by_mode[1] +
+                             result.sessions_by_mode[2] +
+                             result.sessions_by_mode[3]) +
+              " files");
+  cmp.print();
+}
+
+void BM_ModeUsageAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_mode_usage(store));
+  }
+}
+BENCHMARK(BM_ModeUsageAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("S4.6 (I/O mode usage)", charisma::bench::reproduce)

@@ -1,0 +1,44 @@
+// Table 1: number of files opened per traced job.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_files_per_job(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  const double paper_total = 470.0;  // 71+15+24+120+240
+  std::int64_t total = 0;
+  for (auto b : result.buckets) total += b;
+
+  Comparison cmp("Table 1: files opened per traced job (share of jobs)");
+  for (std::size_t i = 0; i < result.buckets.size(); ++i) {
+    cmp.percent_row(std::string("jobs opening ") +
+                        analysis::paper::kTable1[i].bucket + " file(s)",
+                    analysis::paper::kTable1[i].jobs / paper_total,
+                    total > 0 ? static_cast<double>(result.buckets[i]) /
+                                    static_cast<double>(total)
+                              : 0.0);
+  }
+  cmp.row("max files opened by one job", 2217.0,
+          static_cast<double>(result.max_files_one_job), 0);
+  cmp.print();
+  std::printf(
+      "note: the 2217-file job is a one-off and only appears at --scale"
+      " >= 0.5.\n\n");
+}
+
+void BM_FilesPerJobAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_files_per_job(store));
+  }
+}
+BENCHMARK(BM_FilesPerJobAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Table 1 (files per job)", charisma::bench::reproduce)

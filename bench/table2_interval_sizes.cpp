@@ -1,0 +1,39 @@
+// Table 2: number of distinct interval sizes used in each file.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_intervals(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  static constexpr const char* kNames[] = {"0", "1", "2", "3", "4+"};
+  Comparison cmp("Table 2: distinct interval sizes per file (% of files)");
+  for (std::size_t i = 0; i < result.buckets.size(); ++i) {
+    cmp.percent_row(std::string(kNames[i]) + " distinct interval(s)",
+                    analysis::paper::kTable2Percent[i] / 100.0,
+                    result.total_files > 0
+                        ? static_cast<double>(result.buckets[i]) /
+                              static_cast<double>(result.total_files)
+                        : 0.0);
+  }
+  cmp.percent_row("1-interval files that were consecutive",
+                  analysis::paper::kOneIntervalConsecutiveShare,
+                  result.one_interval_consecutive_share);
+  cmp.print();
+}
+
+void BM_IntervalAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_intervals(store));
+  }
+}
+BENCHMARK(BM_IntervalAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Table 2 (interval regularity)", charisma::bench::reproduce)

@@ -1,0 +1,39 @@
+// Table 3: number of distinct request sizes used in each file.
+#include "common.hpp"
+
+namespace charisma::bench {
+namespace {
+
+void reproduce() {
+  const auto result =
+      analysis::analyze_request_regularity(Context::instance().store());
+  std::printf("%s\n", result.render().c_str());
+
+  static constexpr const char* kNames[] = {"0", "1", "2", "3", "4+"};
+  Comparison cmp("Table 3: distinct request sizes per file (% of files)");
+  for (std::size_t i = 0; i < result.buckets.size(); ++i) {
+    cmp.percent_row(std::string(kNames[i]) + " distinct size(s)",
+                    analysis::paper::kTable3Percent[i] / 100.0,
+                    result.total_files > 0
+                        ? static_cast<double>(result.buckets[i]) /
+                              static_cast<double>(result.total_files)
+                        : 0.0);
+  }
+  cmp.percent_row("files with only one or two request sizes", 0.914,
+                  result.one_or_two_sizes_share);
+  cmp.print();
+}
+
+void BM_RequestRegularityAnalysis(benchmark::State& state) {
+  const auto& store = Context::instance().store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_request_regularity(store));
+  }
+}
+BENCHMARK(BM_RequestRegularityAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace charisma::bench
+
+CHARISMA_BENCH_MAIN("Table 3 (request-size regularity)",
+                    charisma::bench::reproduce)

@@ -1,0 +1,73 @@
+#include "analysis/iorate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace charisma::analysis {
+
+IoRateResult analyze_io_rate(const trace::SortedTrace& trace,
+                             const IoRateConfig& config) {
+  util::check(config.bucket > 0, "bucket width must be positive");
+  IoRateResult out;
+  out.bucket_width = config.bucket;
+  if (trace.records.empty()) return out;
+
+  const util::MicroSec start = trace.header.trace_start;
+  util::MicroSec end = trace.header.trace_end;
+  for (const auto& r : trace.records) end = std::max(end, r.timestamp);
+  const auto buckets = static_cast<std::size_t>(
+      (end - start) / config.bucket + 1);
+  out.timeline.resize(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    out.timeline[i].start = start + static_cast<util::MicroSec>(i) *
+                                        config.bucket;
+  }
+
+  for (const auto& r : trace.records) {
+    if (!r.is_data() || r.bytes <= 0) continue;
+    const auto i = static_cast<std::size_t>(
+        std::clamp<util::MicroSec>((r.timestamp - start) / config.bucket, 0,
+                                   static_cast<util::MicroSec>(buckets) - 1));
+    auto& b = out.timeline[i];
+    ++b.requests;
+    if (r.kind == trace::EventKind::kRead) {
+      b.bytes_read += r.bytes;
+    } else {
+      b.bytes_written += r.bytes;
+    }
+  }
+
+  const double seconds =
+      static_cast<double>(config.bucket) / util::kSecond;
+  double total_mb = 0.0;
+  std::size_t quiet = 0;
+  for (const auto& b : out.timeline) {
+    const double mb =
+        static_cast<double>(b.bytes_read + b.bytes_written) / 1e6;
+    total_mb += mb;
+    out.peak_mb_per_s = std::max(out.peak_mb_per_s, mb / seconds);
+    if (b.requests == 0) ++quiet;
+  }
+  out.mean_mb_per_s =
+      total_mb / (static_cast<double>(buckets) * seconds);
+  out.quiet_fraction =
+      static_cast<double>(quiet) / static_cast<double>(buckets);
+  return out;
+}
+
+std::string IoRateResult::render() const {
+  std::ostringstream s;
+  s << timeline.size() << " buckets of "
+    << util::format_duration(bucket_width) << ": mean "
+    << util::fmt(mean_mb_per_s, 3) << " MB/s, peak "
+    << util::fmt(peak_mb_per_s, 2) << " MB/s (burstiness "
+    << util::fmt(burstiness()) << "x), "
+    << util::format_percent(quiet_fraction) << " of buckets quiet\n";
+  return s.str();
+}
+
+}  // namespace charisma::analysis

@@ -1,0 +1,47 @@
+// I/O-rate timeline analysis.
+//
+// Not one of the paper's own figures, but the style of characterization the
+// paper cites from Pasquale & Polyzos and Cypher et al. (temporal patterns
+// in the I/O rate): data volume moved per time bucket over the traced
+// period, split by reads and writes, plus burstiness statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/postprocess.hpp"
+#include "util/stats.hpp"
+
+namespace charisma::analysis {
+
+struct IoRateConfig {
+  /// Timeline bucket width.
+  util::MicroSec bucket = 10 * util::kMinute;
+};
+
+struct IoRateResult {
+  struct Bucket {
+    util::MicroSec start = 0;
+    std::int64_t bytes_read = 0;
+    std::int64_t bytes_written = 0;
+    std::uint64_t requests = 0;
+  };
+  std::vector<Bucket> timeline;
+  util::MicroSec bucket_width = 0;
+  double mean_mb_per_s = 0.0;
+  double peak_mb_per_s = 0.0;
+  /// Peak-to-mean ratio: > ~3 indicates a bursty, phase-structured load.
+  [[nodiscard]] double burstiness() const noexcept {
+    return mean_mb_per_s > 0.0 ? peak_mb_per_s / mean_mb_per_s : 0.0;
+  }
+  /// Fraction of buckets with no I/O at all.
+  double quiet_fraction = 0.0;
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] IoRateResult analyze_io_rate(const trace::SortedTrace& trace,
+                                           const IoRateConfig& config = {});
+
+}  // namespace charisma::analysis

@@ -1,0 +1,87 @@
+// The published values from Kotz & Nieuwejaar (SC '94), used by the bench
+// binaries to print paper-vs-measured comparisons and by EXPERIMENTS.md.
+// Nothing in the simulator or the analyzers reads these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace charisma::analysis::paper {
+
+// §3.1 job population.
+inline constexpr int kTotalJobs = 3016;
+inline constexpr int kSingleNodeJobs = 2237;
+inline constexpr int kMultiNodeJobs = 779;
+inline constexpr int kTracedMultiJobs = 429;
+inline constexpr int kTracedSingleJobs = 41;
+inline constexpr double kTraceHours = 156.0;
+
+// Figure 1.
+inline constexpr double kIdleFraction = 0.27;        // "more than a quarter"
+inline constexpr double kMultiprogrammedFraction = 0.35;
+inline constexpr int kMaxConcurrentJobs = 8;
+
+// §4.2 file population.
+inline constexpr int kFilesOpened = 64000;
+inline constexpr int kWriteOnlyFiles = 44500;
+inline constexpr int kReadOnlyFiles = 14500;
+inline constexpr int kReadWriteFiles = 2300;   // "less than 2300"
+inline constexpr int kUntouchedFiles = 2500;   // "nearly 2500"
+inline constexpr double kTemporaryOpenFraction = 0.0061;
+inline constexpr double kMeanBytesWrittenPerFile = 1.2e6;
+inline constexpr double kMeanBytesReadPerFile = 3.3e6;
+
+// Figure 4.
+inline constexpr double kSmallReadFraction = 0.961;      // reads < 4000 B
+inline constexpr double kSmallReadDataFraction = 0.020;
+inline constexpr double kSmallWriteFraction = 0.894;
+inline constexpr double kSmallWriteDataFraction = 0.03;
+inline constexpr std::int64_t kSmallRequestThreshold = 4000;
+
+// Figures 5/6.
+inline constexpr double kWriteOnlyFullyConsecutive = 0.86;
+inline constexpr double kReadOnlyFullyConsecutive = 0.29;
+
+// Figure 7.
+inline constexpr double kReadOnlyFullyByteShared = 0.70;
+inline constexpr double kWriteOnlyNoBytesShared = 0.90;
+inline constexpr double kReadWriteFullyByteShared = 0.50;
+inline constexpr double kReadWriteFullyBlockShared = 0.93;
+
+// Table 1: files opened per traced job.
+struct FilesPerJobRow {
+  const char* bucket;
+  int jobs;
+};
+inline constexpr std::array<FilesPerJobRow, 5> kTable1 = {{
+    {"1", 71}, {"2", 15}, {"3", 24}, {"4", 120}, {"5+", 240},
+}};
+
+// Table 2: distinct interval sizes per file (percent of files).
+inline constexpr std::array<double, 5> kTable2Percent = {36.5, 58.2, 4.0,
+                                                         0.2, 1.0};
+inline constexpr double kOneIntervalConsecutiveShare = 0.99;
+
+// Table 3: distinct request sizes per file (percent of files).
+inline constexpr std::array<double, 5> kTable3Percent = {3.9, 40.0, 51.4,
+                                                         3.9, 0.8};
+
+// §4.6 mode usage.
+inline constexpr double kMode0Fraction = 0.99;
+
+// Figure 8 (compute-node cache).
+inline constexpr double kJobsAboveHitRate75 = 0.40;
+inline constexpr double kJobsAtZeroHitRate = 0.30;
+
+// Figure 9 (I/O-node cache).
+inline constexpr int kLruBuffersFor90 = 4000;
+inline constexpr int kFifoBuffersFor90 = 20000;
+
+// §4.8 combined simulation.
+inline constexpr double kCombinedHitRateDrop = 0.03;
+
+// §3.1 instrumentation.
+inline constexpr double kMessageReduction = 0.90;  // ">90%" fewer messages
+inline constexpr double kTraceTrafficShare = 0.01;  // "<1% of total traffic"
+
+}  // namespace charisma::analysis::paper

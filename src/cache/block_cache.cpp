@@ -1,0 +1,57 @@
+#include "cache/block_cache.hpp"
+
+namespace charisma::cache {
+
+BlockCache::BlockCache(std::size_t capacity, Policy policy)
+    : capacity_(capacity), policy_(policy) {}
+
+bool BlockCache::access(const BlockKey& key, NodeId node) {
+  ++accesses_;
+  if (capacity_ == 0) return false;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (policy_ != Policy::kFifo) {
+      // LRU and IP-aware promote on hit; FIFO keeps insertion order.
+      order_.splice(order_.begin(), order_, it->second.order_it);
+    }
+    if (policy_ == Policy::kInterprocessAware) {
+      it->second.accessors.insert(node);
+    }
+    return true;
+  }
+  if (entries_.size() >= capacity_) evict_one();
+  order_.push_front(key);
+  Entry e;
+  e.order_it = order_.begin();
+  if (policy_ == Policy::kInterprocessAware) e.accessors.insert(node);
+  entries_.emplace(key, std::move(e));
+  return false;
+}
+
+void BlockCache::evict_one() {
+  if (order_.empty()) return;
+  if (policy_ != Policy::kInterprocessAware) {
+    entries_.erase(order_.back());
+    order_.pop_back();
+    return;
+  }
+  // IP-aware: among the coldest few blocks, evict the one consumed by the
+  // most distinct nodes — its interprocess reuse is behind it.
+  auto victim = std::prev(order_.end());
+  std::size_t victim_nodes = entries_.at(*victim).accessors.size();
+  auto it = victim;
+  for (std::size_t scanned = 1;
+       scanned < kEvictionScan && it != order_.begin(); ++scanned) {
+    --it;
+    const std::size_t n = entries_.at(*it).accessors.size();
+    if (n > victim_nodes) {
+      victim = it;
+      victim_nodes = n;
+    }
+  }
+  entries_.erase(*victim);
+  order_.erase(victim);
+}
+
+}  // namespace charisma::cache

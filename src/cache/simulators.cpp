@@ -1,0 +1,166 @@
+#include "cache/simulators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace charisma::cache {
+
+using trace::EventKind;
+using trace::Record;
+
+namespace {
+
+/// First and last file block a request touches.
+struct BlockSpan {
+  std::int64_t first;
+  std::int64_t last;
+};
+BlockSpan span_of(const Record& r, std::int64_t bs) {
+  return {r.offset / bs, (r.offset + std::max<std::int64_t>(r.bytes, 1) - 1) / bs};
+}
+
+}  // namespace
+
+ComputeCacheResult simulate_compute_cache(const trace::SortedTrace& trace,
+                                          const std::set<SessionKey>& read_only,
+                                          const ComputeCacheConfig& config) {
+  util::check(config.block_size > 0, "bad block size");
+  ComputeCacheResult out;
+  // One cache per (job, node): node reuse across jobs must not leak blocks.
+  std::map<std::pair<JobId, NodeId>, BlockCache> caches;
+  struct JobCount {
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;
+  };
+  std::map<JobId, JobCount> per_job;
+
+  for (const Record& r : trace.records) {
+    if (r.kind != EventKind::kRead || r.bytes <= 0) continue;
+    if (read_only.find({r.job, r.file}) == read_only.end()) continue;
+    auto [it, inserted] = caches.try_emplace(
+        std::make_pair(r.job, r.node), config.buffers_per_node, Policy::kLru);
+    BlockCache& cache = it->second;
+    const auto [first, last] = span_of(r, config.block_size);
+    // "Fully satisfied from the local buffer": every touched block present
+    // before the request runs.
+    bool full_hit = true;
+    for (std::int64_t b = first; b <= last; ++b) {
+      if (!cache.contains({r.file, b})) {
+        full_hit = false;
+        break;
+      }
+    }
+    for (std::int64_t b = first; b <= last; ++b) {
+      (void)cache.access({r.file, b}, r.node);
+    }
+    auto& jc = per_job[r.job];
+    ++jc.reads;
+    ++out.reads;
+    if (full_hit) {
+      ++jc.hits;
+      ++out.hits;
+    }
+  }
+
+  for (const auto& [job, jc] : per_job) {
+    const double rate = jc.reads ? static_cast<double>(jc.hits) /
+                                       static_cast<double>(jc.reads)
+                                 : 0.0;
+    out.job_hit_rates.push_back(rate);
+    if (rate <= 0.0) out.fraction_jobs_zero += 1.0;
+    if (rate > 0.75) out.fraction_jobs_above_75 += 1.0;
+  }
+  if (!out.job_hit_rates.empty()) {
+    const auto n = static_cast<double>(out.job_hit_rates.size());
+    out.fraction_jobs_zero /= n;
+    out.fraction_jobs_above_75 /= n;
+  }
+  out.hit_rate_cdf = util::Cdf::from_samples(out.job_hit_rates);
+  return out;
+}
+
+IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
+                                  const std::set<SessionKey>& read_only,
+                                  const IoNodeSimConfig& config) {
+  util::check(config.io_nodes >= 1, "need at least one I/O node");
+  util::check(config.block_size > 0, "bad block size");
+  IoNodeSimResult out;
+
+  const std::size_t per_node =
+      config.total_buffers / static_cast<std::size_t>(config.io_nodes);
+  std::vector<BlockCache> io_caches;
+  io_caches.reserve(static_cast<std::size_t>(config.io_nodes));
+  for (int i = 0; i < config.io_nodes; ++i) {
+    io_caches.emplace_back(per_node, config.policy);
+  }
+  std::map<std::pair<JobId, NodeId>, BlockCache> compute;
+
+  for (const Record& r : trace.records) {
+    const bool is_read = r.kind == EventKind::kRead;
+    if ((!is_read && r.kind != EventKind::kWrite) || r.bytes <= 0) continue;
+    const auto [first, last] = span_of(r, config.block_size);
+
+    if (config.compute_buffers_per_node > 0 && is_read &&
+        read_only.count({r.job, r.file}) > 0) {
+      auto [it, inserted] =
+          compute.try_emplace(std::make_pair(r.job, r.node),
+                              config.compute_buffers_per_node, Policy::kLru);
+      BlockCache& front = it->second;
+      bool full_hit = true;
+      for (std::int64_t b = first; b <= last; ++b) {
+        if (!front.contains({r.file, b})) {
+          full_hit = false;
+          break;
+        }
+      }
+      for (std::int64_t b = first; b <= last; ++b) {
+        (void)front.access({r.file, b}, r.node);
+      }
+      if (full_hit) {
+        ++out.filtered_by_compute;
+        continue;  // never reaches the I/O nodes
+      }
+    }
+
+    // Round-robin striping at one-block granularity (paper §4.8).  The
+    // request is "fully satisfied from the buffer" when every block it
+    // touches is already resident (Figure 8's definition, applied here to
+    // the I/O-node caches).
+    ++out.requests;
+    bool full_hit = true;
+    for (std::int64_t b = first; b <= last; ++b) {
+      BlockCache& cache =
+          io_caches[static_cast<std::size_t>(b % config.io_nodes)];
+      ++out.block_accesses;
+      if (cache.access({r.file, b}, r.node)) {
+        ++out.block_hits;
+      } else {
+        full_hit = false;
+      }
+    }
+    if (full_hit) ++out.request_hits;
+  }
+  out.hit_rate = out.requests ? static_cast<double>(out.request_hits) /
+                                    static_cast<double>(out.requests)
+                              : 0.0;
+  out.block_hit_rate =
+      out.block_accesses ? static_cast<double>(out.block_hits) /
+                               static_cast<double>(out.block_accesses)
+                         : 0.0;
+  return out;
+}
+
+std::string IoNodeSimResult::describe() const {
+  std::ostringstream s;
+  s << "requests=" << requests << " hits=" << request_hits << " hit_rate="
+    << hit_rate << " block_hit_rate=" << block_hit_rate;
+  if (filtered_by_compute > 0) {
+    s << " filtered=" << filtered_by_compute;
+  }
+  return s.str();
+}
+
+}  // namespace charisma::cache

@@ -1,0 +1,84 @@
+// The paper's trace-driven cache simulations.
+//
+//  * Compute-node simulation (Figure 8): per-node caches of one-block
+//    read-only buffers with LRU replacement; a hit is a read fully
+//    satisfied locally (no I/O-node message).  Reported as a CDF of
+//    per-job hit rates.
+//  * I/O-node simulation (Figure 9): 4 KB buffers split evenly over N I/O
+//    nodes, LRU or FIFO (or our IP-aware policy, ablation B); files assumed
+//    striped round-robin at one-block granularity.
+//  * Combined simulation (§4.8): one-block compute-node buffers in front of
+//    the I/O-node caches; measures how much intraprocess locality the
+//    front caches strip from the I/O-node stream.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "trace/postprocess.hpp"
+#include "util/histogram.hpp"
+
+namespace charisma::cache {
+
+using cfs::JobId;
+using SessionKey = std::pair<JobId, FileId>;
+
+// ---- Figure 8 -------------------------------------------------------------
+
+struct ComputeCacheConfig {
+  std::size_t buffers_per_node = 1;
+  std::int64_t block_size = util::kBlockSize;
+};
+
+struct ComputeCacheResult {
+  std::vector<double> job_hit_rates;  // jobs with >= 1 eligible read
+  util::Cdf hit_rate_cdf;
+  double fraction_jobs_zero = 0.0;
+  double fraction_jobs_above_75 = 0.0;
+  std::uint64_t reads = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double overall_hit_rate() const noexcept {
+    return reads ? static_cast<double>(hits) / static_cast<double>(reads)
+                 : 0.0;
+  }
+};
+
+/// `read_only` restricts caching to read-only sessions, as the paper did
+/// (write caching would need a consistency protocol).
+[[nodiscard]] ComputeCacheResult simulate_compute_cache(
+    const trace::SortedTrace& trace, const std::set<SessionKey>& read_only,
+    const ComputeCacheConfig& config);
+
+// ---- Figure 9 / §4.8 -------------------------------------------------------
+
+struct IoNodeSimConfig {
+  int io_nodes = 10;
+  std::size_t total_buffers = 4000;  // split evenly over the I/O nodes
+  Policy policy = Policy::kLru;
+  std::int64_t block_size = util::kBlockSize;
+  /// > 0 adds per-compute-node read-only front caches (§4.8).
+  std::size_t compute_buffers_per_node = 0;
+};
+
+struct IoNodeSimResult {
+  /// Requests reaching the I/O nodes; a request is a hit when every block
+  /// it touches is already cached (it needs no disk I/O anywhere).
+  std::uint64_t requests = 0;
+  std::uint64_t request_hits = 0;
+  std::uint64_t block_accesses = 0;
+  std::uint64_t block_hits = 0;
+  std::uint64_t filtered_by_compute = 0;  // requests absorbed up front
+  double hit_rate = 0.0;        // request-level (the paper's Figure 9 axis)
+  double block_hit_rate = 0.0;  // block-level, for the ablation commentary
+
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] IoNodeSimResult simulate_io_cache(
+    const trace::SortedTrace& trace, const std::set<SessionKey>& read_only,
+    const IoNodeSimConfig& config);
+
+}  // namespace charisma::cache

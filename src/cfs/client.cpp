@@ -1,0 +1,205 @@
+#include "cfs/client.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace charisma::cfs {
+
+Client::Client(Runtime& runtime, NodeId node, ClientParams params)
+    : runtime_(&runtime), node_(node), params_(params) {
+  util::check(node >= 0 && node < runtime.machine().compute_nodes(),
+              "client node out of range");
+}
+
+OpenResult Client::open(JobId job, const std::string& path,
+                        std::uint8_t flags, IoMode mode) {
+  auto& engine = runtime_->machine().engine();
+  OpenResult r = runtime_->fs().open(job, node_, path, flags, mode,
+                                     engine.now());
+  if (!r.ok) return r;
+  const Fd fd = next_fd_++;
+  handles_.emplace(fd, Handle{r.file, job});
+  r.fd = fd;
+  // Metadata round-trip to I/O node 0 (the directory server in CFS).
+  r.completed_at = engine.now() + params_.call_overhead +
+                   runtime_->machine().compute_to_io(
+                       node_, 0, params_.request_message_bytes) *
+                       2;
+  return r;
+}
+
+MicroSec Client::execute(const Handle& h, const Reservation& r,
+                         bool is_write) {
+  auto& machine = runtime_->machine();
+  const MicroSec start = r.not_before + params_.call_overhead;
+  if (r.bytes == 0) return start;
+
+  MicroSec completion = start;
+  for (const BlockAccess& a : runtime_->fs().plan(h.file, r.offset, r.bytes)) {
+    ++io_messages_;
+    // Request descriptor to the I/O node (plus the data for writes).
+    const std::int64_t outbound =
+        params_.request_message_bytes + (is_write ? a.bytes : 0);
+    const MicroSec arrival =
+        start + machine.compute_to_io(node_, a.io_node, outbound);
+    IoNode& server = runtime_->io_node(a.io_node);
+    const MicroSec served =
+        is_write ? server.serve_write(arrival, h.file, a.file_block,
+                                      a.disk_offset, a.bytes)
+                 : server.serve_read(arrival, h.file, a.file_block,
+                                     a.disk_offset, a.bytes);
+    // Reply (with the data for reads).
+    const std::int64_t inbound = is_write ? 32 : a.bytes;
+    completion = std::max(
+        completion, served + machine.compute_to_io(node_, a.io_node, inbound));
+  }
+  return completion;
+}
+
+IoResult Client::read(Fd fd, std::int64_t bytes) {
+  IoResult result;
+  auto& engine = runtime_->machine().engine();
+  result.completed_at = engine.now();
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    result.error = "bad file descriptor";
+    return result;
+  }
+  const Handle& h = it->second;
+  Reservation r = runtime_->fs().reserve_read(h.job, node_, h.file, bytes,
+                                              engine.now());
+  if (!r.ok) {
+    result.error = r.error;
+    return result;
+  }
+  result.ok = true;
+  result.offset = r.offset;
+  result.bytes = r.bytes;
+  result.completed_at = execute(h, r, /*is_write=*/false);
+  return result;
+}
+
+IoResult Client::write(Fd fd, std::int64_t bytes) {
+  IoResult result;
+  auto& engine = runtime_->machine().engine();
+  result.completed_at = engine.now();
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    result.error = "bad file descriptor";
+    return result;
+  }
+  const Handle& h = it->second;
+  Reservation r = runtime_->fs().reserve_write(h.job, node_, h.file, bytes,
+                                               engine.now());
+  if (!r.ok) {
+    result.error = r.error;
+    return result;
+  }
+  result.ok = true;
+  result.offset = r.offset;
+  result.bytes = r.bytes;
+  result.extended_file = r.extends_file;
+  result.completed_at = execute(h, r, /*is_write=*/true);
+  return result;
+}
+
+IoResult Client::read_strided(Fd fd, std::int64_t record,
+                              std::int64_t interval, std::int64_t count) {
+  IoResult result;
+  auto& machine = runtime_->machine();
+  auto& engine = machine.engine();
+  result.completed_at = engine.now();
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    result.error = "bad file descriptor";
+    return result;
+  }
+  const Handle& h = it->second;
+  Reservation r = runtime_->fs().reserve_strided_read(
+      h.job, node_, h.file, record, interval, count, engine.now());
+  if (!r.ok) {
+    result.error = r.error;
+    return result;
+  }
+  result.ok = true;
+  result.offset = r.offset;
+  result.bytes = r.bytes;
+  const MicroSec start = r.not_before + params_.call_overhead;
+  result.completed_at = start;
+  if (r.bytes == 0) return result;
+
+  // Gather every element's block accesses, grouped by I/O node: ONE
+  // strided descriptor message per involved I/O node (that is the point).
+  std::map<int, std::vector<BlockAccess>> per_io;
+  std::int64_t remaining = r.bytes;
+  for (std::int64_t k = 0; k < count && remaining > 0; ++k) {
+    const std::int64_t elem = r.offset + k * (record + interval);
+    const std::int64_t take = std::min(record, remaining);
+    for (BlockAccess& a : runtime_->fs().plan(h.file, elem, take)) {
+      per_io[a.io_node].push_back(a);
+    }
+    remaining -= take;
+  }
+  for (auto& [io, accesses] : per_io) {
+    ++io_messages_;
+    const MicroSec arrival =
+        start +
+        machine.compute_to_io(node_, io, params_.request_message_bytes);
+    IoNode& server = runtime_->io_node(io);
+    MicroSec served = arrival;
+    std::int64_t node_bytes = 0;
+    for (const BlockAccess& a : accesses) {
+      served = std::max(served,
+                        server.serve_read(arrival, h.file, a.file_block,
+                                          a.disk_offset, a.bytes));
+      node_bytes += a.bytes;
+    }
+    result.completed_at =
+        std::max(result.completed_at,
+                 served + machine.compute_to_io(node_, io, node_bytes));
+  }
+  return result;
+}
+
+std::optional<std::int64_t> Client::seek(Fd fd, std::int64_t offset,
+                                         Whence whence) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) return std::nullopt;
+  return runtime_->fs().seek(it->second.job, node_, it->second.file, offset,
+                             whence);
+}
+
+std::optional<std::int64_t> Client::close(Fd fd) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) return std::nullopt;
+  const auto size =
+      runtime_->fs().close(it->second.job, node_, it->second.file);
+  handles_.erase(it);
+  return size;
+}
+
+bool Client::unlink(JobId job, const std::string& path) {
+  const auto file = runtime_->fs().lookup(path);
+  if (!file) return false;
+  const bool ok = runtime_->fs().unlink(job, path);
+  if (ok) {
+    for (int i = 0; i < runtime_->io_node_count(); ++i) {
+      runtime_->io_node(i).invalidate(*file);
+    }
+  }
+  return ok;
+}
+
+FileId Client::file_of(Fd fd) const {
+  const auto it = handles_.find(fd);
+  return it == handles_.end() ? kNoFile : it->second.file;
+}
+
+JobId Client::job_of(Fd fd) const {
+  const auto it = handles_.find(fd);
+  return it == handles_.end() ? kNoJob : it->second.job;
+}
+
+}  // namespace charisma::cfs

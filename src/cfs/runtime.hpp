@@ -1,0 +1,39 @@
+// CfsRuntime: the assembled file system — metadata layer plus one IoNode
+// server per machine I/O node.  Clients (one per compute node) share it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cfs/file_system.hpp"
+#include "cfs/io_node.hpp"
+#include "ipsc/machine.hpp"
+
+namespace charisma::cfs {
+
+struct RuntimeParams {
+  FileSystemParams fs;
+  IoNodeParams io;
+};
+
+class Runtime {
+ public:
+  /// Builds a CFS over the machine's I/O nodes.  `params.fs.io_nodes` is
+  /// overwritten with the machine's I/O-node count.
+  Runtime(ipsc::Machine& machine, RuntimeParams params = {});
+
+  [[nodiscard]] ipsc::Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] FileSystem& fs() noexcept { return fs_; }
+  [[nodiscard]] const FileSystem& fs() const noexcept { return fs_; }
+  [[nodiscard]] IoNode& io_node(int i);
+  [[nodiscard]] int io_node_count() const noexcept {
+    return static_cast<int>(io_nodes_.size());
+  }
+
+ private:
+  ipsc::Machine* machine_;
+  FileSystem fs_;
+  std::vector<std::unique_ptr<IoNode>> io_nodes_;
+};
+
+}  // namespace charisma::cfs

@@ -1,0 +1,166 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "analysis/analyzers.hpp"
+#include "analysis/iorate.hpp"
+#include "cache/simulators.hpp"
+#include "util/histogram.hpp"
+
+namespace charisma::core {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
+}
+
+void write_cdf(const std::string& path, const util::Cdf& cdf) {
+  auto out = open_out(path);
+  out << "# x\tF(x)\n";
+  for (const auto& p : cdf.points()) {
+    out << p.x << '\t' << p.cumulative_fraction << '\n';
+  }
+}
+
+}  // namespace
+
+ExportResult export_figures(const StudyOutput& study,
+                            const std::string& directory) {
+  ExportResult result;
+  result.directory = directory;
+  const analysis::SessionStore store(study.sorted);
+  const auto read_only = store.read_only_sessions();
+  const auto dir = [&](const std::string& name) {
+    return directory + "/" + name;
+  };
+
+  {  // Figure 1: time at each concurrency level.
+    const auto r = analysis::analyze_job_concurrency(store);
+    auto out = open_out(dir("fig1.tsv"));
+    out << "# jobs\tfraction_of_time\n";
+    for (std::size_t k = 0; k < r.time_fraction.size(); ++k) {
+      out << k << '\t' << r.time_fraction[k] << '\n';
+    }
+    ++result.files_written;
+  }
+  {  // Figure 2: jobs per node count.
+    const auto r = analysis::analyze_node_counts(store);
+    auto out = open_out(dir("fig2.tsv"));
+    out << "# nodes\tjobs\tnode_seconds\n";
+    for (const auto& [nodes, jobs] : r.jobs_by_nodes) {
+      const auto it = r.node_seconds_by_nodes.find(nodes);
+      out << nodes << '\t' << jobs << '\t'
+          << (it == r.node_seconds_by_nodes.end() ? 0.0 : it->second) << '\n';
+    }
+    ++result.files_written;
+  }
+  write_cdf(dir("fig3.tsv"), analysis::analyze_file_sizes(store).cdf);
+  ++result.files_written;
+  {  // Figure 4: four curves in one file.
+    const auto r = analysis::analyze_request_sizes(study.sorted);
+    auto out = open_out(dir("fig4.tsv"));
+    out << "# size\treads_cdf\tread_bytes_cdf\twrites_cdf\twrite_bytes_cdf\n";
+    for (double x : util::log_spaced(64, 3.3e7, 6)) {
+      out << x << '\t' << r.reads_by_count.at(x) << '\t'
+          << r.reads_by_bytes.at(x) << '\t' << r.writes_by_count.at(x)
+          << '\t' << r.writes_by_bytes.at(x) << '\n';
+    }
+    ++result.files_written;
+  }
+  {  // Figures 5/6: per-class sequential / consecutive CDFs.
+    const auto r = analysis::analyze_sequentiality(store);
+    write_cdf(dir("fig5_read_only.tsv"), r.read_only.sequential_cdf);
+    write_cdf(dir("fig5_write_only.tsv"), r.write_only.sequential_cdf);
+    write_cdf(dir("fig5_read_write.tsv"), r.read_write.sequential_cdf);
+    write_cdf(dir("fig6_read_only.tsv"), r.read_only.consecutive_cdf);
+    write_cdf(dir("fig6_write_only.tsv"), r.write_only.consecutive_cdf);
+    result.files_written += 5;
+  }
+  {  // Figure 7: sharing CDFs.
+    const auto r = analysis::analyze_sharing(store,
+                                             study.raw.header.block_size);
+    write_cdf(dir("fig7_read_bytes.tsv"), r.read_only.byte_shared_cdf);
+    write_cdf(dir("fig7_read_blocks.tsv"), r.read_only.block_shared_cdf);
+    write_cdf(dir("fig7_write_bytes.tsv"), r.write_only.byte_shared_cdf);
+    result.files_written += 3;
+  }
+  {  // Figure 8: job hit-rate CDF, 1 and 50 buffers.
+    cache::ComputeCacheConfig cfg;
+    cfg.buffers_per_node = 1;
+    write_cdf(dir("fig8_1buf.tsv"),
+              cache::simulate_compute_cache(study.sorted, read_only, cfg)
+                  .hit_rate_cdf);
+    cfg.buffers_per_node = 50;
+    write_cdf(dir("fig8_50buf.tsv"),
+              cache::simulate_compute_cache(study.sorted, read_only, cfg)
+                  .hit_rate_cdf);
+    result.files_written += 2;
+  }
+  {  // Figure 9: hit rate vs buffers, LRU and FIFO.
+    auto out = open_out(dir("fig9.tsv"));
+    out << "# buffers\tlru\tfifo\n";
+    for (std::size_t buffers : {250u, 500u, 1000u, 2000u, 4000u, 8000u,
+                                16000u}) {
+      cache::IoNodeSimConfig cfg;
+      cfg.total_buffers = buffers;
+      cfg.policy = cache::Policy::kLru;
+      const double lru =
+          cache::simulate_io_cache(study.sorted, read_only, cfg).hit_rate;
+      cfg.policy = cache::Policy::kFifo;
+      const double fifo =
+          cache::simulate_io_cache(study.sorted, read_only, cfg).hit_rate;
+      out << buffers << '\t' << lru << '\t' << fifo << '\n';
+    }
+    ++result.files_written;
+  }
+  {  // Extra: the I/O-rate timeline.
+    const auto r = analysis::analyze_io_rate(study.sorted);
+    auto out = open_out(dir("iorate.tsv"));
+    out << "# t_seconds\tread_mb\twrite_mb\n";
+    for (const auto& b : r.timeline) {
+      out << static_cast<double>(b.start) / util::kSecond << '\t'
+          << static_cast<double>(b.bytes_read) / 1e6 << '\t'
+          << static_cast<double>(b.bytes_written) / 1e6 << '\n';
+    }
+    ++result.files_written;
+  }
+
+  {  // The gnuplot script tying it together.
+    result.plot_script = dir("plots.gp");
+    auto out = open_out(result.plot_script);
+    out << "# gnuplot script regenerating the paper's figures from the\n"
+           "# exported series: gnuplot -p plots.gp\n"
+           "set style data linespoints\n"
+           "set key bottom right\n"
+           "set term push\n"
+           "set grid\n\n"
+           "set title 'Figure 1: concurrent jobs'\n"
+           "set xlabel 'jobs running'; set ylabel 'fraction of time'\n"
+           "plot 'fig1.tsv' using 1:2 with boxes title 'this reproduction'\n"
+           "pause -1\n\n"
+           "set title 'Figure 3: file sizes at close'\n"
+           "set logscale x; set xlabel 'bytes'; set ylabel 'CDF'\n"
+           "plot 'fig3.tsv' title 'files'\n"
+           "pause -1\n\n"
+           "set title 'Figure 4: request sizes'\n"
+           "plot 'fig4.tsv' using 1:2 title 'reads', \\\n"
+           "     'fig4.tsv' using 1:3 title 'read bytes', \\\n"
+           "     'fig4.tsv' using 1:4 title 'writes', \\\n"
+           "     'fig4.tsv' using 1:5 title 'write bytes'\n"
+           "pause -1\n\n"
+           "unset logscale x\n"
+           "set title 'Figure 9: I/O-node cache'\n"
+           "set xlabel '4 KB buffers'; set ylabel 'hit rate'\n"
+           "plot 'fig9.tsv' using 1:2 title 'LRU', "
+           "'fig9.tsv' using 1:3 title 'FIFO'\n"
+           "pause -1\n";
+    ++result.files_written;
+  }
+  return result;
+}
+
+}  // namespace charisma::core

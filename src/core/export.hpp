@@ -1,0 +1,24 @@
+// Figure data export: writes every reproduced figure's series as
+// gnuplot-ready TSV files plus a plot script, so the curves can be compared
+// to the paper's figures visually.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace charisma::core {
+
+struct ExportResult {
+  int files_written = 0;
+  std::string directory;
+  std::string plot_script;  // path of the generated gnuplot script
+};
+
+/// Writes fig1.tsv .. fig9.tsv (and iorate.tsv) plus plots.gp into
+/// `directory` (created by the caller).  Throws std::runtime_error on I/O
+/// failure.
+ExportResult export_figures(const StudyOutput& study,
+                            const std::string& directory);
+
+}  // namespace charisma::core

@@ -1,0 +1,13 @@
+// Paper-style full report over a postprocessed trace.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace charisma::core {
+
+/// Runs every analyzer and renders the whole characterization, §4-style.
+[[nodiscard]] std::string full_report(const StudyOutput& study);
+
+}  // namespace charisma::core

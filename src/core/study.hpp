@@ -1,0 +1,52 @@
+// CharismaStudy — the top-level pipeline and the library's main entry point.
+//
+// Wires the full reproduction together exactly as the paper's methodology
+// runs: synthetic production workload -> simulated iPSC/860 -> instrumented
+// CFS -> per-node trace buffers -> service-node collector -> raw trace ->
+// postprocess (clock fitting + sort).  Analyzers and cache simulators then
+// consume the postprocessed trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cfs/runtime.hpp"
+#include "ipsc/machine.hpp"
+#include "trace/collector.hpp"
+#include "trace/postprocess.hpp"
+#include "workload/driver.hpp"
+#include "workload/generator.hpp"
+
+namespace charisma::core {
+
+struct StudyConfig {
+  workload::WorkloadConfig workload = workload::WorkloadConfig::nas_1993();
+  ipsc::MachineConfig machine = ipsc::MachineConfig::nas_ames();
+  cfs::RuntimeParams runtime;
+  trace::CollectorParams collector;
+};
+
+struct StudyOutput {
+  trace::TraceFile raw;
+  trace::SortedTrace sorted;
+  std::vector<workload::JobResult> jobs;
+  workload::GeneratedWorkload workload;
+
+  // Perturbation accounting (§3.1 / ablation C).
+  std::uint64_t records = 0;
+  std::uint64_t collector_messages = 0;
+  std::int64_t trace_bytes = 0;
+  std::int64_t user_bytes_moved = 0;  // all disk traffic, for the <1% claim
+  std::uint64_t total_ops = 0;
+  util::MicroSec sim_end = 0;
+};
+
+/// Runs the full study.  Deterministic in `config`.
+[[nodiscard]] StudyOutput run_study(const StudyConfig& config);
+
+/// Convenience used by benches: a study at the given workload scale with
+/// everything else at the NAS defaults.
+[[nodiscard]] StudyOutput run_study_at_scale(double scale,
+                                             std::uint64_t seed = 42);
+
+}  // namespace charisma::core

@@ -1,0 +1,58 @@
+// Disk service model for the CFS I/O nodes.
+//
+// Each iPSC/860 I/O node at NAS drove a single 760 MB SCSI drive (paper §3).
+// We model the drive as a FIFO queue with a positional service time:
+// seek (skipped when the request is contiguous with the previous one) +
+// half-rotation latency + transfer at the media rate.  The model produces
+// completion times for the event engine and utilization/byte counters for
+// the ablation benches; it is a queueing model, not a geometry simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace charisma::disk {
+
+using util::MicroSec;
+
+struct DiskParams {
+  std::int64_t capacity_bytes = 760 * util::kMiB;
+  MicroSec average_seek = 16 * util::kMillisecond;
+  MicroSec rotation = 17 * util::kMillisecond;  // ~3600 rpm full revolution
+  double bytes_per_us = 1.0;                    // ~1 MB/s media rate
+  MicroSec controller_overhead = 700;
+};
+
+class Disk {
+ public:
+  explicit Disk(DiskParams params = {}) noexcept : params_(params) {}
+
+  [[nodiscard]] const DiskParams& params() const noexcept { return params_; }
+
+  /// Pure service time of a request at byte address `offset` of length
+  /// `bytes`, given the head position left by the previous request.
+  [[nodiscard]] MicroSec service_time(std::int64_t offset,
+                                      std::int64_t bytes) const noexcept;
+
+  /// Enqueues a request arriving at `now`; returns its completion time and
+  /// advances the queue/head state.  FIFO order is the caller's contract
+  /// (arrivals must be fed in nondecreasing `now` order).
+  MicroSec submit(MicroSec now, std::int64_t offset, std::int64_t bytes);
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::int64_t bytes_moved() const noexcept { return bytes_; }
+  [[nodiscard]] MicroSec busy_time() const noexcept { return busy_; }
+  /// Fraction of [0, now] the disk spent servicing requests.
+  [[nodiscard]] double utilization(MicroSec now) const noexcept;
+
+ private:
+  DiskParams params_;
+  MicroSec free_at_ = 0;   // when the queue drains
+  std::int64_t head_ = -1;  // byte address after the previous request
+  std::uint64_t requests_ = 0;
+  std::int64_t bytes_ = 0;
+  MicroSec busy_ = 0;
+};
+
+}  // namespace charisma::disk

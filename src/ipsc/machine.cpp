@@ -1,0 +1,74 @@
+#include "ipsc/machine.hpp"
+
+#include "util/check.hpp"
+
+namespace charisma::ipsc {
+
+MachineConfig MachineConfig::nas_ames() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::tiny() {
+  MachineConfig c;
+  c.compute_nodes = 8;
+  c.io_nodes = 2;
+  return c;
+}
+
+Machine::Machine(sim::Engine& engine, const MachineConfig& config,
+                 util::Rng& rng)
+    : engine_(&engine),
+      config_(config),
+      cube_(net::Hypercube::dimension_for(config.compute_nodes)),
+      messages_(cube_, config.net) {
+  util::check(config.compute_nodes >= 1, "need at least one compute node");
+  util::check(config.io_nodes >= 1, "need at least one I/O node");
+  util::check(config.io_nodes <= config.compute_nodes,
+              "more I/O nodes than compute-node taps");
+  clocks_.reserve(static_cast<std::size_t>(config.compute_nodes));
+  for (NodeId n = 0; n < config.compute_nodes; ++n) {
+    clocks_.push_back(sim::DriftingClock::random(
+        rng, engine.now(), config.max_clock_drift_ppm,
+        config.max_clock_offset));
+  }
+  disks_.reserve(static_cast<std::size_t>(config.io_nodes));
+  for (int d = 0; d < config.io_nodes; ++d) {
+    disks_.emplace_back(config.disk);
+  }
+}
+
+const sim::DriftingClock& Machine::clock(NodeId node) const {
+  util::check(node >= 0 && node < config_.compute_nodes,
+              "compute node out of range");
+  return clocks_[static_cast<std::size_t>(node)];
+}
+
+disk::Disk& Machine::disk(int io_node) {
+  util::check(io_node >= 0 && io_node < config_.io_nodes,
+              "I/O node out of range");
+  return disks_[static_cast<std::size_t>(io_node)];
+}
+
+NodeId Machine::io_tap(int io_node) const {
+  util::check(io_node >= 0 && io_node < config_.io_nodes,
+              "I/O node out of range");
+  // Spread taps evenly over the cube.
+  const NodeId stride = config_.compute_nodes / config_.io_nodes;
+  return static_cast<NodeId>(io_node) * (stride > 0 ? stride : 1);
+}
+
+MicroSec Machine::compute_to_compute(NodeId from, NodeId to,
+                                     std::int64_t bytes) const {
+  return messages_.transfer_time(from, to, bytes);
+}
+
+MicroSec Machine::compute_to_io(NodeId from, int io_node,
+                                std::int64_t bytes) const {
+  const NodeId tap = io_tap(io_node);
+  return messages_.transfer_time_hops(cube_.hops(from, tap) + 1, bytes);
+}
+
+MicroSec Machine::compute_to_service(NodeId from, std::int64_t bytes) const {
+  return messages_.transfer_time_hops(cube_.hops(from, service_tap()) + 1,
+                                      bytes);
+}
+
+}  // namespace charisma::ipsc

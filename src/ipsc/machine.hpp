@@ -1,0 +1,90 @@
+// The iPSC/860 machine model.
+//
+// Assembles the substrates into the machine the paper traced: compute nodes
+// on a hypercube, dedicated I/O nodes each tapped onto a single compute node
+// (they are NOT on the hypercube proper — paper §2.4), one service node for
+// the Ethernet/host connection, per-node clocks synchronized at startup that
+// then drift, and one disk per I/O node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "net/hypercube.hpp"
+#include "net/message.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace charisma::ipsc {
+
+using net::NodeId;
+using util::MicroSec;
+
+struct MachineConfig {
+  NodeId compute_nodes = 128;
+  int io_nodes = 10;
+  std::int64_t compute_memory = 8 * util::kMiB;
+  std::int64_t io_memory = 4 * util::kMiB;
+  net::MessageCostParams net;
+  disk::DiskParams disk;
+  double max_clock_drift_ppm = 150.0;   // "drifts significantly" (§3.2)
+  MicroSec max_clock_offset = 2000;     // residual skew after startup sync
+
+  /// The NAS Ames machine from the paper: 128 compute nodes (8 MB), 10 I/O
+  /// nodes (4 MB, one 760 MB disk each), one service node.
+  [[nodiscard]] static MachineConfig nas_ames();
+  /// A small machine for unit tests.
+  [[nodiscard]] static MachineConfig tiny();
+};
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const MachineConfig& config, util::Rng& rng);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] NodeId compute_nodes() const noexcept {
+    return config_.compute_nodes;
+  }
+  [[nodiscard]] int io_nodes() const noexcept { return config_.io_nodes; }
+  [[nodiscard]] const net::Hypercube& cube() const noexcept { return cube_; }
+
+  /// The clock of a compute node (the collector on the service node reads
+  /// engine time directly — it is the reference).
+  [[nodiscard]] const sim::DriftingClock& clock(NodeId node) const;
+  [[nodiscard]] disk::Disk& disk(int io_node);
+
+  /// Compute node that an I/O node is tapped onto.
+  [[nodiscard]] NodeId io_tap(int io_node) const;
+  /// Compute node the service node is tapped onto.
+  [[nodiscard]] NodeId service_tap() const noexcept { return 0; }
+
+  /// Message latencies.  I/O and service traffic pays the cube route to the
+  /// tap plus one tap hop.
+  [[nodiscard]] MicroSec compute_to_compute(NodeId from, NodeId to,
+                                            std::int64_t bytes) const;
+  [[nodiscard]] MicroSec compute_to_io(NodeId from, int io_node,
+                                       std::int64_t bytes) const;
+  [[nodiscard]] MicroSec compute_to_service(NodeId from,
+                                            std::int64_t bytes) const;
+
+  [[nodiscard]] const net::MessageModel& messages() const noexcept {
+    return messages_;
+  }
+
+ private:
+  sim::Engine* engine_;
+  MachineConfig config_;
+  net::Hypercube cube_;
+  net::MessageModel messages_;
+  std::vector<sim::DriftingClock> clocks_;
+  std::vector<disk::Disk> disks_;
+};
+
+}  // namespace charisma::ipsc

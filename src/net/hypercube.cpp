@@ -1,0 +1,51 @@
+#include "net/hypercube.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace charisma::net {
+
+Hypercube::Hypercube(int dimension) : dimension_(dimension) {
+  util::check(dimension >= 0 && dimension <= 20,
+              "hypercube dimension out of range");
+}
+
+int Hypercube::hops(NodeId from, NodeId to) const {
+  util::check(contains(from) && contains(to), "node id out of range");
+  return std::popcount(static_cast<std::uint32_t>(from ^ to));
+}
+
+NodeId Hypercube::neighbor(NodeId n, int dim) const {
+  util::check(contains(n), "node id out of range");
+  util::check(dim >= 0 && dim < dimension_, "dimension out of range");
+  return n ^ (NodeId{1} << dim);
+}
+
+bool Hypercube::are_neighbors(NodeId a, NodeId b) const {
+  return hops(a, b) == 1;
+}
+
+std::vector<NodeId> Hypercube::route(NodeId from, NodeId to) const {
+  util::check(contains(from) && contains(to), "node id out of range");
+  std::vector<NodeId> path{from};
+  NodeId cur = from;
+  // E-cube: correct differing bits from the lowest dimension upward.
+  for (int dim = 0; dim < dimension_; ++dim) {
+    const NodeId bit = NodeId{1} << dim;
+    if ((cur ^ to) & bit) {
+      cur ^= bit;
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+int Hypercube::dimension_for(NodeId nodes) {
+  util::check(nodes >= 1, "need at least one node");
+  int d = 0;
+  while ((NodeId{1} << d) < nodes) ++d;
+  return d;
+}
+
+}  // namespace charisma::net

@@ -1,0 +1,43 @@
+// Hypercube interconnect topology (the iPSC/860 network).
+//
+// Nodes are numbered 0 .. 2^d - 1; two nodes are neighbors iff their ids
+// differ in exactly one bit.  Messages follow e-cube (dimension-ordered)
+// routes, which is what the iPSC's Direct-Connect modules implemented.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace charisma::net {
+
+using NodeId = std::int32_t;
+
+class Hypercube {
+ public:
+  /// A hypercube of the given dimension (0 <= dimension <= 20).
+  explicit Hypercube(int dimension);
+
+  [[nodiscard]] int dimension() const noexcept { return dimension_; }
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return NodeId{1} << dimension_;
+  }
+  [[nodiscard]] bool contains(NodeId n) const noexcept {
+    return n >= 0 && n < node_count();
+  }
+
+  /// Number of links on the e-cube route (Hamming distance).
+  [[nodiscard]] int hops(NodeId from, NodeId to) const;
+  /// Neighbor across dimension `dim`.
+  [[nodiscard]] NodeId neighbor(NodeId n, int dim) const;
+  [[nodiscard]] bool are_neighbors(NodeId a, NodeId b) const;
+  /// Full e-cube route, endpoints included: from, ..., to.
+  [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
+
+  /// Smallest dimension whose cube holds at least `nodes` nodes.
+  static int dimension_for(NodeId nodes);
+
+ private:
+  int dimension_;
+};
+
+}  // namespace charisma::net

@@ -1,0 +1,28 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+namespace charisma::sim {
+
+MicroSec DriftingClock::local_time(MicroSec t) const noexcept {
+  const double elapsed = static_cast<double>(t - sync_time_);
+  const double skewed = elapsed * (1.0 + drift_ppm_ * 1e-6);
+  return sync_time_ + offset_ + static_cast<MicroSec>(std::llround(skewed));
+}
+
+MicroSec DriftingClock::true_time(MicroSec local) const noexcept {
+  const double skewed = static_cast<double>(local - sync_time_ - offset_);
+  const double elapsed = skewed / (1.0 + drift_ppm_ * 1e-6);
+  return sync_time_ + static_cast<MicroSec>(std::llround(elapsed));
+}
+
+DriftingClock DriftingClock::random(util::Rng& rng, MicroSec sync_time,
+                                    double max_drift_ppm,
+                                    MicroSec max_offset) {
+  const double drift = (rng.uniform01() * 2.0 - 1.0) * max_drift_ppm;
+  const MicroSec offset =
+      max_offset > 0 ? rng.uniform_range(-max_offset, max_offset) : 0;
+  return DriftingClock(sync_time, offset, drift);
+}
+
+}  // namespace charisma::sim

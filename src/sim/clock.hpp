@@ -1,0 +1,46 @@
+// Per-node drifting clocks.
+//
+// The iPSC/860 synchronized node clocks at system startup, after which each
+// clock drifted "significantly and differently" (paper §3.2, citing French).
+// The trace postprocessor has to undo this drift using the double timestamps
+// taken when a trace buffer leaves a node and when it reaches the collector.
+// We model a clock as local(t) = offset + (t - sync_time) * (1 + rate), with
+// rate in parts-per-million.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace charisma::sim {
+
+using util::MicroSec;
+
+class DriftingClock {
+ public:
+  /// A perfect clock (the collector's reference).
+  DriftingClock() = default;
+  /// `drift_ppm` may be negative (clock runs slow).
+  DriftingClock(MicroSec sync_time, MicroSec offset, double drift_ppm) noexcept
+      : sync_time_(sync_time), offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// Local reading at true (engine) time `t`.
+  [[nodiscard]] MicroSec local_time(MicroSec t) const noexcept;
+  /// Inverse mapping: true time at which this clock reads `local` (rounded).
+  [[nodiscard]] MicroSec true_time(MicroSec local) const noexcept;
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+  /// Draws a clock whose drift is uniform in [-max_drift_ppm, max_drift_ppm]
+  /// and whose residual offset after startup sync is within +-max_offset.
+  static DriftingClock random(util::Rng& rng, MicroSec sync_time,
+                              double max_drift_ppm, MicroSec max_offset);
+
+ private:
+  MicroSec sync_time_ = 0;
+  MicroSec offset_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace charisma::sim

@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace charisma::sim {
+
+void Engine::schedule_at(MicroSec at, Callback fn) {
+  util::check(at >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(MicroSec delay, Callback fn) {
+  util::check(delay >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback must be moved out before pop.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++dispatched_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(MicroSec deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace charisma::sim

@@ -1,0 +1,65 @@
+// Discrete-event simulation engine.
+//
+// The machine model (compute nodes, network, disks, the trace collector) is
+// written as callbacks scheduled on this engine.  Determinism rules:
+//   * time is integer microseconds (util::MicroSec);
+//   * ties are broken by schedule order (a monotone sequence number), so a
+//    (seed, config) pair always produces the identical event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace charisma::sim {
+
+using util::MicroSec;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] MicroSec now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
+    return dispatched_;
+  }
+
+  /// Schedules `fn` at absolute time `at` (>= now).
+  void schedule_at(MicroSec at, Callback fn);
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  void schedule_in(MicroSec delay, Callback fn);
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with time <= `deadline`; afterwards now() == max(deadline,
+  /// now()).  Events scheduled beyond the deadline remain queued.
+  void run_until(MicroSec deadline);
+  /// Dispatches the single earliest event; returns false if none remain.
+  bool step();
+
+ private:
+  struct Event {
+    MicroSec at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  MicroSec now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace charisma::sim

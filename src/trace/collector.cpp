@@ -1,0 +1,94 @@
+#include "trace/collector.hpp"
+
+#include "util/check.hpp"
+
+namespace charisma::trace {
+
+Collector::Collector(ipsc::Machine& machine, CollectorParams params)
+    : machine_(&machine), params_(params) {
+  buffers_.resize(static_cast<std::size_t>(machine.compute_nodes()));
+  trace_.header.compute_nodes = machine.compute_nodes();
+  trace_.header.io_nodes = machine.io_nodes();
+  trace_.header.block_size = util::kBlockSize;
+  trace_.header.trace_start = machine.engine().now();
+}
+
+std::size_t Collector::records_per_buffer() const noexcept {
+  if (!params_.buffer_on_nodes) return 1;
+  const auto n = static_cast<std::size_t>(params_.node_buffer_bytes) /
+                 Record::kEncodedSize;
+  return n == 0 ? 1 : n;
+}
+
+void Collector::append(Record record) {
+  util::check(record.node >= 0 && record.node < machine_->compute_nodes(),
+              "record from unknown node");
+  const MicroSec now = machine_->engine().now();
+  record.timestamp = machine_->clock(record.node).local_time(now);
+  auto& buf = buffers_[static_cast<std::size_t>(record.node)];
+  buf.records.push_back(record);
+  ++records_seen_;
+  if (buf.records.size() >= records_per_buffer()) flush_node(record.node);
+}
+
+void Collector::append_job_event(Record record) {
+  // Job starts/ends come from the resource manager on the service node, so
+  // they carry the collector's (reference) clock and skip node buffers.
+  // They must not be attributed to a compute node: that would both apply a
+  // bogus drift correction to them and pollute that node's clock fit.
+  record.timestamp = machine_->engine().now();
+  record.node = kServiceNode;
+  TraceBlock block;
+  block.node = record.node;
+  block.sent_local = record.timestamp;
+  block.recv_global = record.timestamp;
+  block.records.push_back(record);
+  trace_.blocks.push_back(std::move(block));
+  ++records_seen_;
+}
+
+void Collector::flush_node(NodeId node) {
+  auto& buf = buffers_[static_cast<std::size_t>(node)];
+  if (buf.records.empty()) return;
+  const MicroSec now = machine_->engine().now();
+  const auto payload = static_cast<std::int64_t>(buf.records.size() *
+                                                 Record::kEncodedSize);
+  TraceBlock block;
+  block.node = node;
+  block.sent_local = machine_->clock(node).local_time(now);
+  block.recv_global = now + machine_->compute_to_service(node, payload);
+  block.records = std::move(buf.records);
+  buf.records.clear();
+  trace_.blocks.push_back(std::move(block));
+  ++messages_;
+
+  // Collector-side staging: model its own (untraced) CFS output.
+  staged_bytes_ += payload;
+  if (staged_bytes_ >= params_.collector_buffer_bytes) {
+    trace_bytes_ += staged_bytes_;
+    staged_bytes_ = 0;
+    ++collector_writes_;
+  }
+}
+
+void Collector::flush_all() {
+  for (NodeId n = 0; n < machine_->compute_nodes(); ++n) flush_node(n);
+  if (staged_bytes_ > 0) {
+    trace_bytes_ += staged_bytes_;
+    staged_bytes_ = 0;
+    ++collector_writes_;
+  }
+}
+
+TraceFile Collector::take_trace() {
+  flush_all();
+  trace_.header.trace_end = machine_->engine().now();
+  TraceFile out = std::move(trace_);
+  trace_ = TraceFile{};
+  trace_.header = out.header;
+  trace_.header.trace_start = machine_->engine().now();
+  trace_.blocks.clear();
+  return out;
+}
+
+}  // namespace charisma::trace

@@ -1,0 +1,109 @@
+#include "trace/instrumented_client.hpp"
+
+namespace charisma::trace {
+
+cfs::OpenResult InstrumentedClient::open(cfs::JobId job,
+                                         const std::string& path,
+                                         std::uint8_t flags,
+                                         cfs::IoMode mode) {
+  cfs::OpenResult r = client_->open(job, path, flags, mode);
+  if (r.ok) {
+    Record rec;
+    rec.kind = EventKind::kOpen;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = r.file;
+    rec.aux = pack_open_aux(flags, mode);
+    rec.bytes = r.created ? 1 : 0;
+    rec.mode = static_cast<std::uint8_t>(mode);
+    emit(rec);
+  }
+  return r;
+}
+
+cfs::IoResult InstrumentedClient::read(cfs::Fd fd, std::int64_t bytes) {
+  const cfs::FileId file = client_->file_of(fd);
+  const cfs::JobId job = client_->job_of(fd);
+  cfs::IoResult r = client_->read(fd, bytes);
+  if (r.ok) {
+    Record rec;
+    rec.kind = EventKind::kRead;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = file;
+    rec.offset = r.offset;
+    rec.bytes = r.bytes;
+    rec.aux = bytes;
+    emit(rec);
+  }
+  return r;
+}
+
+cfs::IoResult InstrumentedClient::write(cfs::Fd fd, std::int64_t bytes) {
+  const cfs::FileId file = client_->file_of(fd);
+  const cfs::JobId job = client_->job_of(fd);
+  cfs::IoResult r = client_->write(fd, bytes);
+  if (r.ok) {
+    Record rec;
+    rec.kind = EventKind::kWrite;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = file;
+    rec.offset = r.offset;
+    rec.bytes = r.bytes;
+    rec.aux = bytes;
+    emit(rec);
+  }
+  return r;
+}
+
+std::optional<std::int64_t> InstrumentedClient::seek(cfs::Fd fd,
+                                                     std::int64_t offset,
+                                                     cfs::Whence whence) {
+  const cfs::FileId file = client_->file_of(fd);
+  const cfs::JobId job = client_->job_of(fd);
+  const auto result = client_->seek(fd, offset, whence);
+  if (result) {
+    Record rec;
+    rec.kind = EventKind::kSeek;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = file;
+    rec.offset = *result;
+    emit(rec);
+  }
+  return result;
+}
+
+std::optional<std::int64_t> InstrumentedClient::close(cfs::Fd fd) {
+  const cfs::FileId file = client_->file_of(fd);
+  const cfs::JobId job = client_->job_of(fd);
+  const auto size = client_->close(fd);
+  if (size) {
+    Record rec;
+    rec.kind = EventKind::kClose;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = file;
+    rec.aux = *size;
+    emit(rec);
+  }
+  return size;
+}
+
+bool InstrumentedClient::unlink(cfs::JobId job, const std::string& path) {
+  // Resolve the id before the directory entry disappears.
+  const auto file = client_->runtime().fs().lookup(path);
+  const bool ok = client_->unlink(job, path);
+  if (ok && file) {
+    Record rec;
+    rec.kind = EventKind::kDelete;
+    rec.job = job;
+    rec.node = client_->node();
+    rec.file = *file;
+    emit(rec);
+  }
+  return ok;
+}
+
+}  // namespace charisma::trace

@@ -1,0 +1,48 @@
+// The instrumented CFS library.
+//
+// Mirrors the paper's instrumentation point exactly: the user-level CFS
+// library is wrapped so that every call emits an event record into the
+// node's trace buffer (paper §3.1).  Jobs that were not relinked against the
+// instrumented library run through the same CFS but emit nothing — the
+// workload model marks those jobs untraced, reproducing the paper's partial
+// coverage (429 of 779 multi-node jobs traced).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cfs/client.hpp"
+#include "trace/collector.hpp"
+
+namespace charisma::trace {
+
+class InstrumentedClient {
+ public:
+  /// `traced == false` models a job linked against the plain library.
+  InstrumentedClient(cfs::Client& client, Collector& collector,
+                     bool traced = true)
+      : client_(&client), collector_(&collector), traced_(traced) {}
+
+  [[nodiscard]] bool traced() const noexcept { return traced_; }
+  [[nodiscard]] cfs::NodeId node() const noexcept { return client_->node(); }
+
+  cfs::OpenResult open(cfs::JobId job, const std::string& path,
+                       std::uint8_t flags, cfs::IoMode mode);
+  cfs::IoResult read(cfs::Fd fd, std::int64_t bytes);
+  cfs::IoResult write(cfs::Fd fd, std::int64_t bytes);
+  std::optional<std::int64_t> seek(cfs::Fd fd, std::int64_t offset,
+                                   cfs::Whence whence);
+  std::optional<std::int64_t> close(cfs::Fd fd);
+  bool unlink(cfs::JobId job, const std::string& path);
+
+ private:
+  void emit(Record r) {
+    if (traced_) collector_->append(r);
+  }
+
+  cfs::Client* client_;
+  Collector* collector_;
+  bool traced_;
+};
+
+}  // namespace charisma::trace

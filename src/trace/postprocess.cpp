@@ -1,0 +1,114 @@
+#include "trace/postprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace charisma::trace {
+
+MicroSec ClockFit::apply(MicroSec local) const noexcept {
+  return static_cast<MicroSec>(
+      std::llround(scale * static_cast<double>(local) + offset));
+}
+
+std::unordered_map<NodeId, ClockFit> fit_clocks(const TraceFile& trace) {
+  struct Acc {
+    double sum_l = 0, sum_g = 0, sum_ll = 0, sum_lg = 0;
+    std::size_t n = 0;
+  };
+  std::unordered_map<NodeId, Acc> accs;
+  for (const auto& b : trace.blocks) {
+    auto& a = accs[b.node];
+    const auto l = static_cast<double>(b.sent_local);
+    const auto g = static_cast<double>(b.recv_global);
+    a.sum_l += l;
+    a.sum_g += g;
+    a.sum_ll += l * l;
+    a.sum_lg += l * g;
+    ++a.n;
+  }
+  std::unordered_map<NodeId, ClockFit> fits;
+  for (const auto& [node, a] : accs) {
+    ClockFit fit;
+    fit.samples = a.n;
+    const auto n = static_cast<double>(a.n);
+    const double denom = n * a.sum_ll - a.sum_l * a.sum_l;
+    if (a.n >= 2 && std::abs(denom) > 1e-6) {
+      fit.scale = (n * a.sum_lg - a.sum_l * a.sum_g) / denom;
+      // Clock rates are within a few hundred ppm of unity; a wilder fit
+      // means the samples were degenerate (e.g. all at one instant).
+      if (fit.scale < 0.99 || fit.scale > 1.01) fit.scale = 1.0;
+      fit.offset = (a.sum_g - fit.scale * a.sum_l) / n;
+    } else if (a.n >= 1) {
+      fit.scale = 1.0;
+      fit.offset = (a.sum_g - a.sum_l) / n;
+    }
+    fits.emplace(node, fit);
+  }
+  return fits;
+}
+
+SortedTrace postprocess(const TraceFile& trace) {
+  const auto fits = fit_clocks(trace);
+  SortedTrace out;
+  out.header = trace.header;
+  out.records.reserve(trace.record_count());
+  for (const auto& b : trace.blocks) {
+    const auto it = fits.find(b.node);
+    for (Record r : b.records) {
+      if (it != fits.end()) r.timestamp = it->second.apply(r.timestamp);
+      out.records.push_back(r);
+    }
+  }
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::uint64_t count_order_inversions(
+    const std::vector<MicroSec>& true_times,
+    const std::vector<MicroSec>& estimated_times) {
+  const std::size_t n = true_times.size();
+  if (n != estimated_times.size() || n < 2) return 0;
+  // Order events by estimated time (stable), then count inversions of the
+  // true-time sequence with a merge sort.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return estimated_times[a] < estimated_times[b];
+                   });
+  std::vector<MicroSec> seq(n);
+  for (std::size_t i = 0; i < n; ++i) seq[i] = true_times[order[i]];
+
+  std::uint64_t inversions = 0;
+  std::vector<MicroSec> tmp(n);
+  const std::function<void(std::size_t, std::size_t)> sort_count =
+      [&](std::size_t lo, std::size_t hi) {
+        if (hi - lo < 2) return;
+        const std::size_t mid = lo + (hi - lo) / 2;
+        sort_count(lo, mid);
+        sort_count(mid, hi);
+        std::size_t i = lo, j = mid, k = lo;
+        while (i < mid && j < hi) {
+          if (seq[i] <= seq[j]) {
+            tmp[k++] = seq[i++];
+          } else {
+            inversions += mid - i;
+            tmp[k++] = seq[j++];
+          }
+        }
+        while (i < mid) tmp[k++] = seq[i++];
+        while (j < hi) tmp[k++] = seq[j++];
+        std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+                  tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+                  seq.begin() + static_cast<std::ptrdiff_t>(lo));
+      };
+  sort_count(0, n);
+  return inversions;
+}
+
+}  // namespace charisma::trace

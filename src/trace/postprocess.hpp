@@ -1,0 +1,53 @@
+// Trace postprocessing (paper §3.2): data realignment, clock
+// synchronization, and chronological sorting.
+//
+// Raw trace files hold per-node blocks whose records carry drifting local
+// timestamps.  Each block was stamped when it left its node (local clock)
+// and when it reached the collector (reference clock); from these pairs we
+// fit, per node, a linear local->reference mapping by least squares and
+// re-timestamp every record.  The result is "a closer approximation" of the
+// true event order — still approximate, which is why the analyses (like the
+// paper's) lean on spatial rather than temporal information.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_file.hpp"
+
+namespace charisma::trace {
+
+/// local -> reference mapping: reference ~= scale * local + offset.
+struct ClockFit {
+  double scale = 1.0;
+  double offset = 0.0;
+  std::size_t samples = 0;
+
+  [[nodiscard]] MicroSec apply(MicroSec local) const noexcept;
+};
+
+/// Fits one ClockFit per node from the blocks' double timestamps.
+[[nodiscard]] std::unordered_map<NodeId, ClockFit> fit_clocks(
+    const TraceFile& trace);
+
+/// A postprocessed trace: records with corrected timestamps in
+/// chronological order (stable within equal timestamps).
+struct SortedTrace {
+  TraceHeader header;
+  std::vector<Record> records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+};
+
+/// Full pipeline: fit clocks, correct every record, stable-sort.
+[[nodiscard]] SortedTrace postprocess(const TraceFile& trace);
+
+/// Counts adjacent-pair inversions of `reference_order` (a permutation of
+/// record indices in true order) within `t` — the postprocessing quality
+/// metric used by the tests.
+[[nodiscard]] std::uint64_t count_order_inversions(
+    const std::vector<MicroSec>& true_times,
+    const std::vector<MicroSec>& estimated_times);
+
+}  // namespace charisma::trace

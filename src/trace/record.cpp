@@ -1,0 +1,74 @@
+#include "trace/record.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace charisma::trace {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kJobStart: return "JOB_START";
+    case EventKind::kJobEnd: return "JOB_END";
+    case EventKind::kOpen: return "OPEN";
+    case EventKind::kClose: return "CLOSE";
+    case EventKind::kRead: return "READ";
+    case EventKind::kWrite: return "WRITE";
+    case EventKind::kSeek: return "SEEK";
+    case EventKind::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+namespace {
+template <typename T>
+void put(std::uint8_t*& p, T v) noexcept {
+  std::memcpy(p, &v, sizeof v);  // host little-endian (x86-64)
+  p += sizeof v;
+}
+template <typename T>
+T take(const std::uint8_t*& p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  p += sizeof v;
+  return v;
+}
+}  // namespace
+
+void Record::encode(std::uint8_t* out) const noexcept {
+  std::uint8_t* p = out;
+  put<std::int64_t>(p, timestamp);
+  put<std::int64_t>(p, offset);
+  put<std::int64_t>(p, bytes);
+  put<std::int64_t>(p, aux);
+  put<std::int32_t>(p, job);
+  put<std::int32_t>(p, file);
+  put<std::int16_t>(p, static_cast<std::int16_t>(node));
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(kind));
+  put<std::uint8_t>(p, mode);
+  static_assert(Record::kEncodedSize == 8 * 4 + 4 * 2 + 2 + 1 + 1);
+}
+
+Record Record::decode(const std::uint8_t* in) noexcept {
+  const std::uint8_t* p = in;
+  Record r;
+  r.timestamp = take<std::int64_t>(p);
+  r.offset = take<std::int64_t>(p);
+  r.bytes = take<std::int64_t>(p);
+  r.aux = take<std::int64_t>(p);
+  r.job = take<std::int32_t>(p);
+  r.file = take<std::int32_t>(p);
+  r.node = take<std::int16_t>(p);
+  r.kind = static_cast<EventKind>(take<std::uint8_t>(p));
+  r.mode = take<std::uint8_t>(p);
+  return r;
+}
+
+std::string Record::debug_string() const {
+  std::ostringstream out;
+  out << to_string(kind) << " t=" << timestamp << " job=" << job
+      << " node=" << node << " file=" << file << " off=" << offset
+      << " bytes=" << bytes << " aux=" << aux;
+  return out.str();
+}
+
+}  // namespace charisma::trace

@@ -1,0 +1,84 @@
+// CHARISMA event records.
+//
+// The paper defines a self-descriptive trace format: a header record
+// followed by one event record per file-system event, including job starts
+// and ends (recorded by a separate mechanism) and every read, write, open,
+// close, seek, and delete (paper §3.1).  Records carry the *node-local*
+// timestamp; mapping to a common timebase is the postprocessor's job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cfs/types.hpp"
+
+namespace charisma::trace {
+
+using cfs::FileId;
+using cfs::JobId;
+using cfs::NodeId;
+using util::MicroSec;
+
+/// Pseudo node id for records stamped by the service node's reference
+/// clock (job starts/ends); the postprocessor leaves these uncorrected.
+inline constexpr NodeId kServiceNode = -1;
+
+enum class EventKind : std::uint8_t {
+  kJobStart = 1,
+  kJobEnd = 2,
+  kOpen = 3,
+  kClose = 4,
+  kRead = 5,
+  kWrite = 6,
+  kSeek = 7,
+  kDelete = 8,
+};
+
+[[nodiscard]] const char* to_string(EventKind k) noexcept;
+
+/// One trace event.  Field use by kind:
+///   kJobStart: aux = number of compute nodes allocated to the job
+///   kJobEnd:   (ids only)
+///   kOpen:     aux = (mode << 8) | open flags; bytes = 1 if created
+///   kClose:    aux = file size at close
+///   kRead/kWrite: offset, bytes = bytes transferred; aux = bytes requested
+///   kSeek:     offset = resulting offset
+///   kDelete:   (file id names the victim)
+struct Record {
+  MicroSec timestamp = 0;  // node-local clock (uncorrected)
+  JobId job = cfs::kNoJob;
+  FileId file = cfs::kNoFile;
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  std::int64_t aux = 0;
+  NodeId node = 0;
+  EventKind kind = EventKind::kJobStart;
+  std::uint8_t mode = 0;  // I/O mode for open/read/write records
+
+  [[nodiscard]] bool is_data() const noexcept {
+    return kind == EventKind::kRead || kind == EventKind::kWrite;
+  }
+
+  /// Size of the on-disk encoding (fixed).
+  static constexpr std::size_t kEncodedSize = 44;
+  /// Encodes into exactly kEncodedSize bytes at `out`.
+  void encode(std::uint8_t* out) const noexcept;
+  /// Decodes from exactly kEncodedSize bytes.
+  [[nodiscard]] static Record decode(const std::uint8_t* in) noexcept;
+
+  [[nodiscard]] std::string debug_string() const;
+};
+
+/// Packs/unpacks the kOpen aux field.
+[[nodiscard]] constexpr std::int64_t pack_open_aux(std::uint8_t flags,
+                                                   cfs::IoMode mode) noexcept {
+  return (static_cast<std::int64_t>(mode) << 8) | flags;
+}
+[[nodiscard]] constexpr std::uint8_t open_flags(std::int64_t aux) noexcept {
+  return static_cast<std::uint8_t>(aux & 0xff);
+}
+[[nodiscard]] constexpr cfs::IoMode open_mode(std::int64_t aux) noexcept {
+  return static_cast<cfs::IoMode>((aux >> 8) & 0xff);
+}
+
+}  // namespace charisma::trace

@@ -1,0 +1,152 @@
+#include "trace/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace charisma::trace {
+
+namespace {
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T take(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("trace file truncated");
+  return v;
+}
+
+void put_string(std::ofstream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string take_string(std::ifstream& in) {
+  const auto n = take<std::uint32_t>(in);
+  if (n > (1u << 20)) throw std::runtime_error("trace label too long");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw std::runtime_error("trace file truncated");
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t TraceFile::record_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks) n += b.records.size();
+  return n;
+}
+
+std::uint64_t TraceFile::data_record_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks) {
+    for (const auto& r : b.records) n += r.is_data() ? 1 : 0;
+  }
+  return n;
+}
+
+void TraceFile::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out.write(kMagic, sizeof kMagic);
+  put<std::uint32_t>(out, kVersion);
+  put<std::int32_t>(out, header.compute_nodes);
+  put<std::int32_t>(out, header.io_nodes);
+  put<std::int64_t>(out, header.block_size);
+  put<std::uint64_t>(out, header.seed);
+  put<std::int64_t>(out, header.trace_start);
+  put<std::int64_t>(out, header.trace_end);
+  put_string(out, header.label);
+
+  put<std::uint64_t>(out, blocks.size());
+  std::vector<std::uint8_t> buf;
+  for (const auto& b : blocks) {
+    put<std::int32_t>(out, b.node);
+    put<std::int64_t>(out, b.sent_local);
+    put<std::int64_t>(out, b.recv_global);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(b.records.size()));
+    buf.resize(b.records.size() * Record::kEncodedSize);
+    std::uint8_t* p = buf.data();
+    for (const auto& r : b.records) {
+      r.encode(p);
+      p += Record::kEncodedSize;
+    }
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+namespace {
+
+TraceFile read_impl(const std::string& path, bool tolerant,
+                    bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, TraceFile::kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("not a CHARISMA trace: " + path);
+  }
+  if (take<std::uint32_t>(in) != TraceFile::kVersion) {
+    throw std::runtime_error("unsupported trace version");
+  }
+  TraceFile t;
+  t.header.compute_nodes = take<std::int32_t>(in);
+  t.header.io_nodes = take<std::int32_t>(in);
+  t.header.block_size = take<std::int64_t>(in);
+  t.header.seed = take<std::uint64_t>(in);
+  t.header.trace_start = take<std::int64_t>(in);
+  t.header.trace_end = take<std::int64_t>(in);
+  t.header.label = take_string(in);
+
+  const auto nblocks = take<std::uint64_t>(in);
+  t.blocks.reserve(nblocks);
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    TraceBlock b;
+    try {
+      b.node = take<std::int32_t>(in);
+      b.sent_local = take<std::int64_t>(in);
+      b.recv_global = take<std::int64_t>(in);
+      const auto count = take<std::uint32_t>(in);
+      buf.resize(static_cast<std::size_t>(count) * Record::kEncodedSize);
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+      if (!in) throw std::runtime_error("trace file truncated");
+    } catch (const std::runtime_error&) {
+      if (!tolerant) throw;
+      if (truncated != nullptr) *truncated = true;
+      return t;  // keep every complete block before the crash point
+    }
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(buf.size() / Record::kEncodedSize);
+    b.records.reserve(count);
+    const std::uint8_t* p = buf.data();
+    for (std::uint32_t r = 0; r < count; ++r) {
+      b.records.push_back(Record::decode(p));
+      p += Record::kEncodedSize;
+    }
+    t.blocks.push_back(std::move(b));
+  }
+  return t;
+}
+
+}  // namespace
+
+TraceFile TraceFile::read(const std::string& path) {
+  return read_impl(path, /*tolerant=*/false, nullptr);
+}
+
+TraceFile TraceFile::read_tolerant(const std::string& path, bool* truncated) {
+  return read_impl(path, /*tolerant=*/true, truncated);
+}
+
+}  // namespace charisma::trace

@@ -1,0 +1,60 @@
+// Trace container and its binary file format.
+//
+// A trace file begins with a self-descriptive header (paper §3.1) and then
+// holds the collector's output: a sequence of per-node record *blocks*, each
+// stamped twice — with the node's local clock when the block left the node
+// and with the collector's clock when it arrived.  The double timestamps are
+// the postprocessor's only handle on clock drift, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace charisma::trace {
+
+struct TraceHeader {
+  std::int32_t compute_nodes = 0;
+  std::int32_t io_nodes = 0;
+  std::int64_t block_size = 0;
+  std::uint64_t seed = 0;
+  MicroSec trace_start = 0;
+  MicroSec trace_end = 0;
+  std::string label;
+};
+
+/// One buffered batch of records from one compute node.
+struct TraceBlock {
+  NodeId node = 0;
+  MicroSec sent_local = 0;   // node clock when the buffer was sent
+  MicroSec recv_global = 0;  // collector clock when it arrived
+  std::vector<Record> records;
+};
+
+class TraceFile {
+ public:
+  TraceHeader header;
+  std::vector<TraceBlock> blocks;
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept;
+  [[nodiscard]] std::uint64_t data_record_count() const noexcept;
+
+  /// Serializes to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+  /// Reads a trace back; throws std::runtime_error on malformed input.
+  [[nodiscard]] static TraceFile read(const std::string& path);
+  /// Salvaging reader for traces cut short by a crash (the paper's tracing
+  /// sometimes ended in one, §3.1): returns every complete block before
+  /// the truncation point instead of throwing.  Still throws if even the
+  /// header is unreadable.  `truncated`, when given, reports whether
+  /// anything was lost.
+  [[nodiscard]] static TraceFile read_tolerant(const std::string& path,
+                                               bool* truncated = nullptr);
+
+  static constexpr char kMagic[8] = {'C', 'H', 'A', 'R', 'I', 'S', 'M', 'A'};
+  static constexpr std::uint32_t kVersion = 1;
+};
+
+}  // namespace charisma::trace

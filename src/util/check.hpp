@@ -1,0 +1,31 @@
+// Invariant checking.
+//
+// Simulator invariants are checked in all build types: a silently corrupt
+// trace would invalidate every downstream experiment, and the checks are
+// nowhere near the hot paths' cost.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace charisma::util {
+
+/// Thrown when a simulator invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws CheckFailure with file:line context when `condition` is false.
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckFailure(std::string(loc.file_name()) + ":" +
+                       std::to_string(loc.line()) + ": " +
+                       std::string(message));
+  }
+}
+
+}  // namespace charisma::util

@@ -1,0 +1,41 @@
+// A minimal --key=value command-line parser for the bench and example
+// binaries (google-benchmark consumes its own flags; ours are removed from
+// argv before handing over).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace charisma::util {
+
+class Flags {
+ public:
+  /// Consumes `--key=value` (and bare `--key`, meaning "true") arguments
+  /// matching one of the `known` names; everything else is left (in order)
+  /// in remaining().
+  Flags(int argc, char** argv, const std::vector<std::string>& known);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// argv entries not consumed by this parser (argv[0] first); the vector is
+  /// usable as a replacement argv for benchmark::Initialize.
+  [[nodiscard]] std::vector<char*>& remaining() { return remaining_; }
+  [[nodiscard]] int remaining_argc() const {
+    return static_cast<int>(remaining_.size());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<char*> remaining_;
+};
+
+}  // namespace charisma::util

@@ -1,0 +1,104 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace charisma::util {
+
+void Histogram::add(std::int64_t value, double weight) {
+  if (weight == 0.0) return;
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+double Histogram::weight_at(std::int64_t value) const noexcept {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0.0 : it->second;
+}
+
+double Histogram::fraction_at_or_below(std::int64_t x) const noexcept {
+  if (total_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [v, w] : bins_) {
+    if (v > x) break;
+    acc += w;
+  }
+  return acc / total_;
+}
+
+Cdf::Cdf(const Histogram& h) {
+  points_.reserve(h.bins().size());
+  const double total = h.total_weight();
+  if (total <= 0.0) return;
+  double acc = 0.0;
+  for (const auto& [v, w] : h.bins()) {
+    acc += w;
+    points_.push_back({static_cast<double>(v), acc / total});
+  }
+  if (!points_.empty()) points_.back().cumulative_fraction = 1.0;
+}
+
+Cdf Cdf::from_samples(std::vector<double> samples) {
+  Cdf cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    std::size_t j = i;
+    while (j < samples.size() && samples[j] == samples[i]) ++j;
+    cdf.points_.push_back({samples[i], static_cast<double>(j) / n});
+    i = j;
+  }
+  cdf.points_.back().cumulative_fraction = 1.0;
+  return cdf;
+}
+
+double Cdf::at(double x) const noexcept {
+  if (points_.empty()) return 0.0;
+  // Last point with point.x <= x.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double lhs, const Point& p) { return lhs < p.x; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->cumulative_fraction;
+}
+
+double Cdf::quantile(double q) const noexcept {
+  if (points_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), q,
+      [](const Point& p, double rhs) { return p.cumulative_fraction < rhs; });
+  return it == points_.end() ? points_.back().x : it->x;
+}
+
+double Cdf::min() const noexcept {
+  return points_.empty() ? 0.0 : points_.front().x;
+}
+
+double Cdf::max() const noexcept {
+  return points_.empty() ? 0.0 : points_.back().x;
+}
+
+std::string Cdf::render_series(const std::vector<double>& xs) const {
+  std::ostringstream out;
+  for (double x : xs) {
+    out << x << '\t' << at(x) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<double> log_spaced(double lo, double hi,
+                               std::size_t points_per_decade) {
+  std::vector<double> xs;
+  if (lo <= 0.0 || hi < lo || points_per_decade == 0) return xs;
+  const double step = 1.0 / static_cast<double>(points_per_decade);
+  for (double e = std::log10(lo); e <= std::log10(hi) + 1e-9; e += step) {
+    xs.push_back(std::pow(10.0, e));
+  }
+  return xs;
+}
+
+}  // namespace charisma::util

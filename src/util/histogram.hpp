@@ -1,0 +1,82 @@
+// Histograms and empirical CDFs used by every analyzer.
+//
+// The paper's figures are CDFs over file sizes, request sizes (both by count
+// and weighted by bytes moved), per-file sequentiality percentages, and
+// per-job hit rates.  Two containers cover all of them:
+//   * Histogram  — exact value -> weight map; cheap because the workloads use
+//                  few distinct values (that regularity is itself a paper
+//                  finding, Tables 2 and 3).
+//   * Cdf        — a frozen, sorted view with quantile / fraction-at-or-below
+//                  queries and fixed-point rendering for the bench output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace charisma::util {
+
+/// Exact weighted histogram over integer values.
+class Histogram {
+ public:
+  /// Adds `weight` at `value` (weight defaults to one observation).
+  void add(std::int64_t value, double weight = 1.0);
+
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct_values() const noexcept { return bins_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bins_.empty(); }
+
+  /// Weight at exactly `value` (0 if absent).
+  [[nodiscard]] double weight_at(std::int64_t value) const noexcept;
+  /// Fraction of total weight at values <= x. Returns 0 for an empty histogram.
+  [[nodiscard]] double fraction_at_or_below(std::int64_t x) const noexcept;
+
+  [[nodiscard]] const std::map<std::int64_t, double>& bins() const noexcept {
+    return bins_;
+  }
+
+ private:
+  std::map<std::int64_t, double> bins_;
+  double total_ = 0.0;
+};
+
+/// A frozen empirical CDF.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(const Histogram& h);
+  /// Builds from raw (unweighted) samples.
+  static Cdf from_samples(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Smallest x with CDF(x) >= q, q in [0,1].  Empty CDF returns 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  struct Point {
+    double x;
+    double cumulative_fraction;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  /// Renders the CDF sampled at the given x positions, one "x<TAB>F(x)" row
+  /// per line — the series the paper plots.
+  [[nodiscard]] std::string render_series(const std::vector<double>& xs) const;
+
+ private:
+  std::vector<Point> points_;  // x strictly increasing, fractions nondecreasing
+};
+
+/// Log-spaced sample positions (for byte-size axes like Figures 3 and 4).
+[[nodiscard]] std::vector<double> log_spaced(double lo, double hi,
+                                             std::size_t points_per_decade);
+
+}  // namespace charisma::util

@@ -1,0 +1,82 @@
+// Deterministic random-number generation for the CHARISMA simulator.
+//
+// Everything in the repository that needs randomness draws from Rng so that a
+// (seed, config) pair fully determines a simulated workload and therefore a
+// trace.  We implement the distributions ourselves rather than using
+// <random>'s distribution objects, whose outputs are implementation-defined
+// and would make traces non-portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace charisma::util {
+
+/// SplitMix64; used to expand a single user seed into stream seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Derives an independent child stream (for per-node / per-job RNGs).
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept;
+  /// Standard normal via Box-Muller (one value per call; no caching).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Lognormal with the given parameters of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with the given mean (not rate).
+  [[nodiscard]] double exponential(double mean) noexcept;
+  /// Index into `weights` with probability proportional to the weight.
+  /// Weights need not be normalized; at least one must be positive.
+  [[nodiscard]] std::size_t weighted(std::span<const double> weights) noexcept;
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Cumulative-weight alias for repeated weighted draws over a fixed table.
+class WeightedPicker {
+ public:
+  WeightedPicker() = default;
+  explicit WeightedPicker(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t pick(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cumulative_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cumulative_.empty(); }
+
+ private:
+  std::vector<double> cumulative_;  // strictly increasing, last == total
+};
+
+}  // namespace charisma::util

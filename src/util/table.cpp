@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace charisma::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == '%' || c == 'e' || c == 'x' ||
+          c == ',')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+  return *this;
+}
+
+Table& Table::add_rule() {
+  pending_rule_ = true;
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&widths] {
+    std::string s;
+    for (std::size_t w : widths) {
+      s += '+';
+      s.append(w + 2, '-');
+    }
+    s += "+\n";
+    return s;
+  }();
+
+  const auto emit_row = [&](std::ostringstream& out,
+                            const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = looks_numeric(cells[c]);
+      const std::size_t pad = widths[c] - cells[c].size();
+      out << "| ";
+      if (right) out << std::string(pad, ' ');
+      out << cells[c];
+      if (!right) out << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  std::ostringstream out;
+  out << rule;
+  emit_row(out, header_);
+  out << rule;
+  for (const auto& row : rows_) {
+    if (row.rule_before) out << rule;
+    emit_row(out, row.cells);
+  }
+  out << rule;
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace charisma::util

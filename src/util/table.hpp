@@ -1,0 +1,35 @@
+// Plain-text table rendering for the paper-style report output printed by
+// the bench binaries and the CharismaStudy report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace charisma::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  Table& add_rule();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  /// Renders with column alignment; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Convenience: fixed-precision double to string.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+}  // namespace charisma::util

@@ -1,0 +1,57 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the analysis layer and the cache parameter sweeps (Figure 9 runs
+// the full-trace simulation once per I/O-node count).  The discrete-event
+// simulator itself is sequential — event order is the whole point — so the
+// pool only ever parallelizes independent read-only passes over a trace.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace charisma::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks the hardware concurrency (at least one).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n), split into contiguous chunks across the
+/// pool.  Rethrows the first task exception.  `body` must be safe to call
+/// concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace charisma::util

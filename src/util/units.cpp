@@ -1,0 +1,56 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace charisma::util {
+
+std::string format_bytes(std::int64_t bytes) {
+  const bool negative = bytes < 0;
+  auto magnitude = static_cast<double>(negative ? -bytes : bytes);
+  static constexpr std::array<const char*, 4> kUnits = {"B", "KB", "MB", "GB"};
+  std::size_t unit = 0;
+  while (magnitude >= 1024.0 && unit + 1 < kUnits.size()) {
+    magnitude /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%s%lld B", negative ? "-" : "",
+                  static_cast<long long>(negative ? -bytes : bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.1f %s", negative ? "-" : "",
+                  magnitude, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_duration(MicroSec t) {
+  char buf[64];
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.1fms",
+                  static_cast<double>(t) / kMillisecond);
+  } else if (t < kMinute) {
+    std::snprintf(buf, sizeof buf, "%.1fs", static_cast<double>(t) / kSecond);
+  } else if (t < kHour) {
+    std::snprintf(buf, sizeof buf, "%lldm %llds",
+                  static_cast<long long>(t / kMinute),
+                  static_cast<long long>((t % kMinute) / kSecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldh %lldm",
+                  static_cast<long long>(t / kHour),
+                  static_cast<long long>((t % kHour) / kMinute));
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace charisma::util

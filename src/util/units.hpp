@@ -1,0 +1,33 @@
+// Byte-size and time units shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace charisma::util {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// The CFS striping unit and the iPSC message fragment size (both 4 KB).
+inline constexpr std::int64_t kBlockSize = 4 * kKiB;
+
+/// Simulated time is kept in integer microseconds to make event ordering
+/// exact and traces byte-reproducible.
+using MicroSec = std::int64_t;
+
+inline constexpr MicroSec kMicrosecond = 1;
+inline constexpr MicroSec kMillisecond = 1000;
+inline constexpr MicroSec kSecond = 1000 * kMillisecond;
+inline constexpr MicroSec kMinute = 60 * kSecond;
+inline constexpr MicroSec kHour = 60 * kMinute;
+
+/// "1.2 MB", "532 KB", "17 B" — for report output.
+[[nodiscard]] std::string format_bytes(std::int64_t bytes);
+/// "2h 13m", "42.0s", "15ms" — for report output.
+[[nodiscard]] std::string format_duration(MicroSec t);
+/// "12.3%" with one decimal.
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace charisma::util

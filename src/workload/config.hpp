@@ -1,0 +1,85 @@
+// Workload configuration.
+//
+// The production NASA Ames workload cannot be re-obtained; WorkloadConfig
+// parameterizes the synthetic population that substitutes for it
+// (DESIGN.md §1, §4).  The `nas_1993` preset is calibrated so that the
+// *measured* trace — everything in src/analysis runs on the simulated
+// trace, never on these numbers — reproduces the paper's distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace charisma::workload {
+
+struct JobMixConfig {
+  // Absolute job counts at scale 1.0 (paper §3.1: 3016 jobs, 2237 of them
+  // single-node; >800 runs of one status-checking program).
+  std::int32_t status_check_jobs = 820;
+  std::int32_t system_jobs = 1130;
+  std::int32_t untraced_single_user_jobs = 246;
+  std::int32_t traced_single_user_jobs = 41;
+  std::int32_t untraced_multi_user_jobs = 350;
+  std::int32_t traced_multi_user_jobs = 429;
+
+  // Archetype weights among traced multi-node user jobs (calibrated to
+  // Table 1's files-per-job buckets and §4.2's session mix).
+  double w_broadcast_read = 0.05;
+  double w_cfd_solver = 0.31;
+  double w_slab_read = 0.05;
+  double w_checkpoint_write = 0.19;
+  double w_single_dump = 0.035;
+  double w_rw_update = 0.03;
+  double w_temp_file = 0.0;  // temp-file runs are added explicitly
+  double w_shared_pointer = 0.025;
+  double w_quad_tool = 0.303;
+};
+
+struct SizeConfig {
+  // Small (record) request sizes: the sub-4000-byte mass of Figure 4.
+  std::int64_t record_min = 80;
+  std::int64_t record_max = 3000;
+  // Large (chunk) request sizes: where the data volume lives.
+  std::int64_t chunk_min = 64 * util::kKiB;
+  std::int64_t chunk_max = 1 * util::kMiB;
+  // Principal file sizes: lognormal with clusters (Figure 3).
+  double file_lognormal_mu = 12.0;     // e^12.0 ~ 163 KB
+  double file_lognormal_sigma = 1.35;
+  std::int64_t file_min = 2 * util::kKiB;
+  std::int64_t file_max = 24 * util::kMiB;
+  // Application-specific clusters (paper: "clusters of similarly sized
+  // files (e.g. at 25KB and 250KB) may be due to just one or two
+  // applications").
+  std::int64_t cluster_small = 25 * util::kKiB;
+  std::int64_t cluster_large = 250 * util::kKiB;
+  double cluster_fraction = 0.38;  // of files drawn from a cluster
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  /// Multiplies job counts and the tracing window.
+  double scale = 1.0;
+  /// Tracing window at scale 1.0 (paper: ~156 hours).
+  util::MicroSec trace_hours = 156;
+  /// Day/night arrival-rate swing in [0,1): 0 = uniform arrivals, 0.45 =
+  /// mid-afternoon submits ~2.6x the 4am rate (the tracing covered "all
+  /// different times of the day and of the week").
+  double diurnal_amplitude = 0.45;
+  JobMixConfig mix;
+  SizeConfig sizes;
+  /// Mean compute think time between a node's I/O operations.
+  util::MicroSec mean_think = 40 * util::kMillisecond;
+  /// Mean compute time between I/O phases (snapshots etc.); with the job
+  /// mix this sets machine occupancy (Figure 1).
+  util::MicroSec mean_phase_think = 64 * util::kSecond;
+  /// Fraction of solver jobs that open a restart file they never touch
+  /// (the paper's ~2500 opened-but-untouched files).
+  double untouched_open_fraction = 0.22;
+
+  [[nodiscard]] static WorkloadConfig nas_1993();
+  /// A fast configuration for unit tests (tiny machine, few jobs).
+  [[nodiscard]] static WorkloadConfig smoke();
+};
+
+}  // namespace charisma::workload

@@ -1,0 +1,263 @@
+#include "workload/driver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace charisma::workload {
+
+using util::MicroSec;
+
+Driver::Driver(ipsc::Machine& machine, cfs::Runtime& runtime,
+               trace::Collector& collector,
+               const GeneratedWorkload& workload)
+    : machine_(&machine),
+      runtime_(&runtime),
+      collector_(&collector),
+      workload_(&workload),
+      allocator_(net::Hypercube::dimension_for(machine.compute_nodes())) {
+  util::check((std::int32_t{1} << allocator_.dimension()) ==
+                  machine.compute_nodes(),
+              "driver requires a power-of-two machine");
+}
+
+void Driver::prepopulate() {
+  // Input files existed before tracing started; create them straight
+  // through the metadata layer under a reserved loader job id.
+  constexpr cfs::JobId kLoader = -2;
+  auto& fs = runtime_->fs();
+  for (const auto& in : workload_->inputs) {
+    const auto open = fs.open(kLoader, 0, in.path,
+                              cfs::kWrite | cfs::kCreate,
+                              cfs::IoMode::kIndependent, 0);
+    util::check(open.ok, "prepopulate open failed: " + open.error);
+    if (in.bytes > 0) {
+      const auto r = fs.reserve_write(kLoader, 0, open.file, in.bytes, 0);
+      util::check(r.ok, "prepopulate write failed: " + r.error);
+    }
+    fs.close(kLoader, 0, open.file);
+  }
+}
+
+void Driver::run() {
+  prepopulate();
+  auto& engine = machine_->engine();
+  for (std::size_t i = 0; i < workload_->jobs.size(); ++i) {
+    engine.schedule_at(workload_->jobs[i].arrival,
+                       [this, i] { on_arrival(i); });
+  }
+  engine.run();
+  collector_->flush_all();
+}
+
+void Driver::on_arrival(std::size_t spec_index) {
+  pending_.push_back(spec_index);
+  try_start_pending();
+}
+
+void Driver::try_start_pending() {
+  // FIFO: the head job blocks smaller jobs behind it, as NQS-style queues
+  // on the real machine did.  NQS also capped the number of simultaneously
+  // running jobs (the paper observed at most 8).
+  while (!pending_.empty()) {
+    if (running_ >= kMaxRunningJobs) return;
+    const JobSpec& spec = workload_->jobs[pending_.front()];
+    std::int32_t nodes = std::min(spec.nodes, machine_->compute_nodes());
+    if (nodes < spec.nodes) ++clamped_;
+    const std::int32_t base = allocator_.allocate(nodes);
+    if (base < 0) return;
+    pending_.pop_front();
+    allocator_.release(base, nodes);  // re-acquired inside start_job
+    start_job(spec);
+  }
+}
+
+void Driver::start_job(const JobSpec& spec) {
+  const std::int32_t nodes = std::min(spec.nodes, machine_->compute_nodes());
+  const std::int32_t base = allocator_.allocate(nodes);
+  util::check(base >= 0, "start_job allocation must succeed");
+
+  ++running_;
+  auto run = std::make_shared<JobRun>();
+  run->spec = &spec;
+  run->base = base;
+  JobScripts scripts = build_scripts(spec, *workload_);
+  run->paths = std::move(scripts.paths);
+  run->result_index = results_.size();
+
+  JobResult result;
+  result.job = spec.job;
+  result.archetype = spec.archetype;
+  result.nodes = nodes;
+  result.traced = spec.traced;
+  result.arrival = spec.arrival;
+  result.start = machine_->engine().now();
+  results_.push_back(result);
+
+  trace::Record start_rec;
+  start_rec.kind = trace::EventKind::kJobStart;
+  start_rec.job = spec.job;
+  start_rec.node = base;
+  start_rec.aux = nodes;
+  collector_->append_job_event(start_rec);
+
+  run->nodes.resize(static_cast<std::size_t>(nodes));
+  for (std::int32_t rank = 0; rank < nodes; ++rank) {
+    auto& nr = run->nodes[static_cast<std::size_t>(rank)];
+    nr.raw = std::make_unique<cfs::Client>(*runtime_, base + rank);
+    nr.client = std::make_unique<trace::InstrumentedClient>(
+        *nr.raw, *collector_, spec.traced);
+    nr.ops = std::move(scripts.nodes[static_cast<std::size_t>(rank)].ops);
+    // SPMD startup skew: ranks come up a few hundred microseconds apart.
+    machine_->engine().schedule_in(
+        200 + 50 * rank, [this, run, rank] { step(run, rank); });
+  }
+}
+
+void Driver::step(const std::shared_ptr<JobRun>& run, std::int32_t rank) {
+  auto& nr = run->nodes[static_cast<std::size_t>(rank)];
+  auto& engine = machine_->engine();
+  if (nr.pc >= nr.ops.size()) {
+    if (++run->done == static_cast<std::int32_t>(run->nodes.size())) {
+      finish_job(run);
+    }
+    return;
+  }
+  const Op& op = nr.ops[nr.pc];
+  auto& result = results_[run->result_index];
+
+  // The think time models compute before this operation issues.
+  if (op.think > 0) {
+    // Consume the think by rescheduling this op with think cleared.
+    const MicroSec t = op.think;
+    nr.ops[nr.pc].think = 0;
+    engine.schedule_in(t, [this, run, rank] { step(run, rank); });
+    return;
+  }
+
+  const auto path_of = [&](std::int32_t idx) -> const std::string& {
+    return run->paths[static_cast<std::size_t>(idx)];
+  };
+  const auto fd_of = [&](std::int32_t idx) {
+    const auto it = nr.fds.find(idx);
+    return it == nr.fds.end() ? cfs::kBadFd : it->second;
+  };
+
+  MicroSec next_at = engine.now();
+  bool retry = false;
+  ++ops_;
+  ++result.ops;
+
+  switch (op.kind) {
+    case OpKind::kOpen: {
+      const auto r = nr.client->open(run->spec->job, path_of(op.path),
+                                     op.flags, op.mode);
+      if (r.ok) {
+        nr.fds[op.path] = r.fd;
+        next_at = r.completed_at;
+      } else {
+        ++result.io_errors;
+      }
+      break;
+    }
+    case OpKind::kRead:
+    case OpKind::kWrite: {
+      const cfs::Fd fd = fd_of(op.path);
+      const auto r = op.kind == OpKind::kRead
+                         ? nr.client->read(fd, op.bytes)
+                         : nr.client->write(fd, op.bytes);
+      if (r.ok) {
+        next_at = r.completed_at;
+      } else if (r.error == "mode-2 access out of turn") {
+        retry = true;
+      } else {
+        ++result.io_errors;
+      }
+      break;
+    }
+    case OpKind::kSeek: {
+      if (!nr.client->seek(fd_of(op.path), op.offset, op.whence)) {
+        ++result.io_errors;
+      }
+      break;
+    }
+    case OpKind::kClose: {
+      const auto it = nr.fds.find(op.path);
+      if (it != nr.fds.end()) {
+        nr.client->close(it->second);
+        nr.fds.erase(it);
+      } else {
+        ++result.io_errors;
+      }
+      break;
+    }
+    case OpKind::kUnlink: {
+      if (!nr.client->unlink(run->spec->job, path_of(op.path))) {
+        ++result.io_errors;
+      }
+      break;
+    }
+    case OpKind::kThink:
+      break;  // think already consumed above
+    case OpKind::kBarrier: {
+      const std::size_t idx = nr.barriers_passed++;
+      if (run->barriers.size() <= idx) run->barriers.resize(idx + 1);
+      Barrier& bar = run->barriers[idx];
+      ++bar.arrived;
+      if (bar.arrived < static_cast<std::int32_t>(run->nodes.size())) {
+        bar.parked.push_back(rank);  // resumed by the last arrival
+        return;
+      }
+      // Last arrival: release everyone (a hypercube barrier costs a few
+      // log-P message hops).
+      const MicroSec release = 50;
+      for (const std::int32_t parked : bar.parked) {
+        run->nodes[static_cast<std::size_t>(parked)].pc++;
+        engine.schedule_in(release,
+                           [this, run, parked] { step(run, parked); });
+      }
+      break;
+    }
+  }
+
+  if (retry) {
+    ++retries_;
+    ++nr.retries;
+    --ops_;
+    --result.ops;
+    util::check(nr.retries < kMaxRetriesPerNode,
+                "mode-2 retry storm: workload script out of order");
+    // Poll with exponential backoff: the node ahead of us may be deep in a
+    // multi-second compute phase.
+    const int shift = static_cast<int>(std::min<std::uint64_t>(
+        nr.backoff, 9));
+    ++nr.backoff;
+    engine.schedule_in(
+        (runtime_->fs().params().pointer_handoff + 100) << shift,
+        [this, run, rank] { step(run, rank); });
+    return;
+  }
+  nr.backoff = 0;
+
+  ++nr.pc;
+  const MicroSec delay = std::max<MicroSec>(next_at - engine.now(), 0);
+  engine.schedule_in(delay, [this, run, rank] { step(run, rank); });
+}
+
+void Driver::finish_job(const std::shared_ptr<JobRun>& run) {
+  auto& result = results_[run->result_index];
+  result.end = machine_->engine().now();
+
+  trace::Record end_rec;
+  end_rec.kind = trace::EventKind::kJobEnd;
+  end_rec.job = run->spec->job;
+  end_rec.node = run->base;
+  end_rec.aux = static_cast<std::int64_t>(run->nodes.size());
+  collector_->append_job_event(end_rec);
+
+  allocator_.release(run->base, static_cast<std::int32_t>(run->nodes.size()));
+  --running_;
+  try_start_pending();
+}
+
+}  // namespace charisma::workload

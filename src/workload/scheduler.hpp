@@ -1,0 +1,43 @@
+// Subcube scheduler.
+//
+// The iPSC/860 space-shares the hypercube: a P-node job (P a power of two)
+// gets a dimension-aligned subcube.  This is a classic buddy allocator over
+// node ids; fragmentation and the FIFO queue it feeds shape Figure 1's
+// concurrent-job profile.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/hypercube.hpp"
+
+namespace charisma::workload {
+
+class SubcubeAllocator {
+ public:
+  /// Manages 2^dimension nodes.
+  explicit SubcubeAllocator(int dimension);
+
+  [[nodiscard]] int dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::int32_t total_nodes() const noexcept {
+    return std::int32_t{1} << dimension_;
+  }
+  [[nodiscard]] std::int32_t free_nodes() const noexcept { return free_; }
+
+  /// Allocates an aligned subcube of `nodes` (power of two); returns the
+  /// base node id, or -1 if no aligned free subcube exists.
+  [[nodiscard]] std::int32_t allocate(std::int32_t nodes);
+  /// Releases a previously allocated subcube.
+  void release(std::int32_t base, std::int32_t nodes);
+
+ private:
+  [[nodiscard]] static int order_of(std::int32_t nodes);
+
+  int dimension_;
+  std::int32_t free_;
+  // free_lists_[k] holds base ids of free subcubes of 2^k nodes.
+  std::vector<std::set<std::int32_t>> free_lists_;
+};
+
+}  // namespace charisma::workload

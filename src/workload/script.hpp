@@ -1,0 +1,110 @@
+// Job scripts: the unit of work the workload driver executes.
+//
+// An application archetype compiles, per compute node, into a flat list of
+// operations.  Scripts keep the generator testable (pure data out of a pure
+// function of (spec, seed)) and keep the driver generic.  Scripts are built
+// lazily at job start so that only the <= machine-width set of running jobs
+// holds script memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfs/types.hpp"
+
+namespace charisma::workload {
+
+using cfs::IoMode;
+using cfs::Whence;
+using util::MicroSec;
+
+enum class OpKind : std::uint8_t {
+  kOpen,     // path_index, flags, mode
+  kRead,     // fd slot = path_index, bytes
+  kWrite,    // fd slot = path_index, bytes
+  kSeek,     // fd slot = path_index, offset, whence
+  kClose,    // fd slot = path_index
+  kUnlink,   // path_index
+  kThink,    // think_time only: compute between I/O phases
+  kBarrier,  // wait until every node of the job reaches its next barrier
+};
+
+struct Op {
+  OpKind kind = OpKind::kThink;
+  std::int32_t path = -1;       // index into JobScripts::paths
+  std::int64_t bytes = 0;       // read/write size
+  std::int64_t offset = 0;      // seek target
+  Whence whence = Whence::kSet;
+  std::uint8_t flags = 0;       // open flags
+  IoMode mode = IoMode::kIndependent;
+  MicroSec think = 0;           // compute time before this op issues
+};
+
+struct NodeScript {
+  std::vector<Op> ops;
+};
+
+/// Compiled job: one script per allocated node (index = rank within job).
+struct JobScripts {
+  std::vector<std::string> paths;   // job-relative path table
+  std::vector<NodeScript> nodes;    // size == nodes allocated
+
+  [[nodiscard]] std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : nodes) n += s.ops.size();
+    return n;
+  }
+};
+
+/// The application archetypes of the synthetic NAS workload (DESIGN.md §2).
+enum class Archetype : std::uint8_t {
+  kBroadcastRead,    // every node reads a shared input whole
+  kCfdSolver,        // interleaved burst read + per-node record outputs
+  kSlabRead,         // each node single-reads its partition
+  kCheckpointWrite,  // per-node big files in large chunks
+  kSingleDump,       // per-node output in one write
+  kRwUpdate,         // read-modify-write on a shared file
+  kTempFile,         // scratch files deleted by the creator
+  kPostprocess,      // single-node consecutive whole-file read
+  kQuadTool,         // the popular 3-inputs-plus-summary utility (Table 1)
+  kSharedPointer,    // the rare mode 1/2/3 users
+  kStatusCheck,      // the periodic no-CFS-I/O machine monitor
+  kSystem,           // untraced system programs (ls/cp/ftp)
+};
+
+[[nodiscard]] const char* to_string(Archetype a) noexcept;
+
+/// Scale-free parameters an archetype instance was drawn with.  Field use
+/// varies by archetype; see generator.cpp.
+struct ArchetypeParams {
+  std::int64_t file_bytes = 0;     // principal file size
+  std::int64_t record_bytes = 0;   // small request size
+  std::int64_t chunk_bytes = 0;    // large request size
+  std::int32_t burst = 1;          // interleave burst length (records)
+  std::int32_t snapshots = 1;      // output files per node
+  std::int32_t phases = 1;         // compute/I/O phase count
+  std::int32_t out_records = 0;    // records per output file
+  std::uint8_t variant = 0;        // archetype-specific sub-behaviour
+  bool open_extra_untouched = false;  // opens a file it never touches
+  bool reads_restart = false;      // reads a per-node restart file first
+  bool reads_bc = false;           // reads a per-node boundary-condition file
+};
+
+/// One job in the arrival stream.
+struct JobSpec {
+  cfs::JobId job = cfs::kNoJob;
+  MicroSec arrival = 0;
+  std::int32_t nodes = 1;        // power of two
+  bool traced = true;            // linked against the instrumented library
+  Archetype archetype = Archetype::kSystem;
+  ArchetypeParams params;
+  /// Pre-populated input files this job reads.  Shared inputs come first;
+  /// for per-node restart files the last `nodes` entries map to ranks.
+  std::vector<std::int32_t> input_files;
+  std::uint64_t seed = 0;        // per-job RNG stream
+  MicroSec mean_think = 50 * util::kMillisecond;
+  MicroSec mean_phase_think = 50 * util::kSecond;
+};
+
+}  // namespace charisma::workload

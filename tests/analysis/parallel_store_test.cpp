@@ -1,0 +1,85 @@
+// Equivalence of the parallel SessionStore build with the serial one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/session.hpp"
+#include "core/study.hpp"
+
+namespace charisma::analysis {
+namespace {
+
+/// Canonical ordering for comparing the two builds.
+std::vector<const FileSession*> sorted_view(const SessionStore& store) {
+  std::vector<const FileSession*> v;
+  v.reserve(store.sessions().size());
+  for (const auto& s : store.sessions()) v.push_back(&s);
+  std::sort(v.begin(), v.end(), [](const FileSession* a, const FileSession* b) {
+    return std::tie(a->job, a->file) < std::tie(b->job, b->file);
+  });
+  return v;
+}
+
+TEST(ParallelSessionStore, MatchesSerialBuild) {
+  const auto study = core::run_study_at_scale(0.05, 77);
+  util::ThreadPool pool(4);
+  const SessionStore serial(study.sorted);
+  const SessionStore parallel =
+      SessionStore::build_parallel(study.sorted, pool);
+
+  ASSERT_EQ(parallel.sessions().size(), serial.sessions().size());
+  ASSERT_EQ(parallel.job_events().size(), serial.job_events().size());
+  const auto a = sorted_view(serial);
+  const auto b = sorted_view(parallel);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    ASSERT_EQ(a[i]->job, b[i]->job);
+    ASSERT_EQ(a[i]->file, b[i]->file);
+    EXPECT_EQ(a[i]->reads, b[i]->reads);
+    EXPECT_EQ(a[i]->writes, b[i]->writes);
+    EXPECT_EQ(a[i]->bytes_read, b[i]->bytes_read);
+    EXPECT_EQ(a[i]->bytes_written, b[i]->bytes_written);
+    EXPECT_EQ(a[i]->size_at_close, b[i]->size_at_close);
+    EXPECT_EQ(a[i]->max_concurrent_opens, b[i]->max_concurrent_opens);
+    EXPECT_EQ(a[i]->total_opens, b[i]->total_opens);
+    EXPECT_EQ(a[i]->interval_sizes, b[i]->interval_sizes);
+    EXPECT_EQ(a[i]->request_sizes, b[i]->request_sizes);
+    EXPECT_EQ(a[i]->access_class(), b[i]->access_class());
+    EXPECT_EQ(a[i]->temporary(), b[i]->temporary());
+    ASSERT_EQ(a[i]->per_node.size(), b[i]->per_node.size());
+    for (const auto& [node, ns] : a[i]->per_node) {
+      const auto it = b[i]->per_node.find(node);
+      ASSERT_NE(it, b[i]->per_node.end());
+      EXPECT_EQ(ns.requests, it->second.requests);
+      EXPECT_EQ(ns.sequential, it->second.sequential);
+      EXPECT_EQ(ns.consecutive, it->second.consecutive);
+      EXPECT_EQ(ns.coverage.size(), it->second.coverage.size());
+    }
+  }
+  EXPECT_EQ(serial.read_only_sessions(), parallel.read_only_sessions());
+}
+
+TEST(ParallelSessionStore, JobEventsPreserved) {
+  const auto study = core::run_study_at_scale(0.03, 5);
+  util::ThreadPool pool(3);
+  const SessionStore serial(study.sorted, false);
+  const SessionStore parallel =
+      SessionStore::build_parallel(study.sorted, pool, false);
+  ASSERT_EQ(serial.job_events().size(), parallel.job_events().size());
+  for (std::size_t i = 0; i < serial.job_events().size(); ++i) {
+    EXPECT_EQ(serial.job_events()[i].time, parallel.job_events()[i].time);
+    EXPECT_EQ(serial.job_events()[i].job, parallel.job_events()[i].job);
+  }
+}
+
+TEST(ParallelSessionStore, SingleThreadPoolWorks) {
+  const auto study = core::run_study_at_scale(0.02, 9);
+  util::ThreadPool pool(1);
+  const SessionStore parallel =
+      SessionStore::build_parallel(study.sorted, pool);
+  const SessionStore serial(study.sorted);
+  EXPECT_EQ(parallel.sessions().size(), serial.sessions().size());
+}
+
+}  // namespace
+}  // namespace charisma::analysis

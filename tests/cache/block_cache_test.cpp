@@ -1,0 +1,102 @@
+#include "cache/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::cache {
+namespace {
+
+TEST(BlockCache, ZeroCapacityNeverHits) {
+  BlockCache c(0, Policy::kLru);
+  EXPECT_FALSE(c.access({1, 0}, 0));
+  EXPECT_FALSE(c.access({1, 0}, 0));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BlockCache, HitOnResidentBlock) {
+  BlockCache c(2, Policy::kLru);
+  EXPECT_FALSE(c.access({1, 0}, 0));
+  EXPECT_TRUE(c.access({1, 0}, 0));
+  EXPECT_TRUE(c.contains({1, 0}));
+  EXPECT_FALSE(c.contains({1, 1}));
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(BlockCache, DistinctFilesDistinctBlocks) {
+  BlockCache c(4, Policy::kLru);
+  (void)c.access({1, 0}, 0);
+  EXPECT_FALSE(c.access({2, 0}, 0));
+  EXPECT_FALSE(c.access({1, 1}, 0));
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(BlockCache, LruEvictsLeastRecentlyUsed) {
+  BlockCache c(2, Policy::kLru);
+  (void)c.access({1, 0}, 0);  // A
+  (void)c.access({1, 1}, 0);  // B
+  (void)c.access({1, 0}, 0);  // touch A -> B is LRU
+  (void)c.access({1, 2}, 0);  // C evicts B
+  EXPECT_TRUE(c.contains({1, 0}));
+  EXPECT_FALSE(c.contains({1, 1}));
+  EXPECT_TRUE(c.contains({1, 2}));
+}
+
+TEST(BlockCache, FifoIgnoresHitsForEviction) {
+  BlockCache c(2, Policy::kFifo);
+  (void)c.access({1, 0}, 0);  // A inserted first
+  (void)c.access({1, 1}, 0);  // B
+  (void)c.access({1, 0}, 0);  // hit on A does NOT refresh it
+  (void)c.access({1, 2}, 0);  // C evicts A (oldest insertion)
+  EXPECT_FALSE(c.contains({1, 0}));
+  EXPECT_TRUE(c.contains({1, 1}));
+  EXPECT_TRUE(c.contains({1, 2}));
+}
+
+TEST(BlockCache, LruAndFifoDivergeOnReReference) {
+  // The canonical pattern where LRU beats FIFO: a hot block re-referenced
+  // while a stream flows past.
+  const auto run = [](Policy policy) {
+    BlockCache c(4, policy);
+    std::uint64_t hits = 0;
+    for (std::int64_t i = 0; i < 100; ++i) {
+      hits += c.access({1, 0}, 0);       // hot block
+      (void)c.access({2, i}, 0);          // stream
+    }
+    return hits;
+  };
+  EXPECT_GT(run(Policy::kLru), run(Policy::kFifo));
+  EXPECT_EQ(run(Policy::kLru), 99u);  // always resident under LRU
+}
+
+TEST(BlockCache, IpAwareEvictsBroadcastConsumedBlocks) {
+  BlockCache c(2, Policy::kInterprocessAware);
+  // Block A consumed by 3 distinct nodes; block B by one node.
+  (void)c.access({1, 0}, 0);
+  (void)c.access({1, 0}, 1);
+  (void)c.access({1, 0}, 2);
+  (void)c.access({1, 1}, 0);
+  // A was touched more recently than B, but A served 3 nodes: evict A.
+  (void)c.access({1, 2}, 5);
+  EXPECT_FALSE(c.contains({1, 0}));
+  EXPECT_TRUE(c.contains({1, 1}));
+}
+
+TEST(BlockCache, CapacityOneDegeneratesToMostRecent) {
+  BlockCache c(1, Policy::kLru);
+  (void)c.access({1, 0}, 0);
+  (void)c.access({1, 1}, 0);
+  EXPECT_FALSE(c.contains({1, 0}));
+  EXPECT_TRUE(c.contains({1, 1}));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(BlockCache, SizeNeverExceedsCapacity) {
+  BlockCache c(8, Policy::kFifo);
+  for (std::int64_t i = 0; i < 100; ++i) (void)c.access({1, i}, 0);
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.capacity(), 8u);
+}
+
+}  // namespace
+}  // namespace charisma::cache

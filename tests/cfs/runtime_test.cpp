@@ -1,0 +1,47 @@
+#include "cfs/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cfs/client.hpp"
+#include "util/check.hpp"
+
+namespace charisma::cfs {
+namespace {
+
+TEST(Runtime, MatchesMachineTopology) {
+  sim::Engine engine;
+  util::Rng rng(1);
+  ipsc::Machine machine(engine, ipsc::MachineConfig::nas_ames(), rng);
+  RuntimeParams params;
+  params.fs.io_nodes = 3;  // deliberately wrong; the runtime overrides it
+  Runtime runtime(machine, params);
+  EXPECT_EQ(runtime.io_node_count(), 10);
+  EXPECT_EQ(runtime.fs().params().io_nodes, 10);
+  EXPECT_EQ(runtime.fs().params().disk_capacity,
+            machine.config().disk.capacity_bytes);
+  EXPECT_THROW((void)runtime.io_node(10), util::CheckFailure);
+  EXPECT_THROW((void)runtime.io_node(-1), util::CheckFailure);
+  EXPECT_EQ(runtime.io_node(3).id(), 3);
+}
+
+TEST(Runtime, LiveIoCacheConfigurable) {
+  sim::Engine engine;
+  util::Rng rng(2);
+  ipsc::Machine machine(engine, ipsc::MachineConfig::tiny(), rng);
+  RuntimeParams params;
+  params.io.cache_buffers = 16;
+  Runtime runtime(machine, params);
+  Client c(runtime, 0);
+  auto open = c.open(1, "f", kRead | kWrite | kCreate, IoMode::kIndependent);
+  (void)c.write(open.fd, 4096);
+  (void)c.seek(open.fd, 0, Whence::kSet);
+  (void)c.read(open.fd, 4096);
+  std::uint64_t hits = 0;
+  for (int i = 0; i < runtime.io_node_count(); ++i) {
+    hits += runtime.io_node(i).cache_hits();
+  }
+  EXPECT_GT(hits, 0u);  // write-through populated the live cache
+}
+
+}  // namespace
+}  // namespace charisma::cfs

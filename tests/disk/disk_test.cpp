@@ -1,0 +1,107 @@
+#include "disk/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace charisma::disk {
+namespace {
+
+DiskParams simple_params() {
+  DiskParams p;
+  p.capacity_bytes = 1000000;
+  p.average_seek = 10000;
+  p.rotation = 8000;
+  p.bytes_per_us = 1.0;
+  p.controller_overhead = 100;
+  return p;
+}
+
+TEST(Disk, SequentialSkipsSeekAndRotation) {
+  Disk d(simple_params());
+  const MicroSec t1 = d.submit(0, 0, 1000);
+  // First request from unknown head position pays a seek.
+  EXPECT_GT(t1, 1000 + 100);
+  // Contiguous follow-up: controller + transfer only.
+  const MicroSec t2 = d.submit(t1, 1000, 500);
+  EXPECT_EQ(t2, t1 + 100 + 500);
+}
+
+TEST(Disk, RandomAccessPaysPositioning) {
+  Disk d(simple_params());
+  (void)d.submit(0, 0, 100);
+  const MicroSec before = d.busy_time();
+  (void)d.submit(100000, 900000, 100);  // far seek
+  const MicroSec service = d.busy_time() - before;
+  EXPECT_GT(service, 100 + 100 + 8000 / 2);  // includes half rotation
+}
+
+TEST(Disk, SeekScalesWithDistance) {
+  Disk near(simple_params()), far(simple_params());
+  (void)near.submit(0, 0, 10);
+  (void)far.submit(0, 0, 10);
+  const MicroSec t_near = near.submit(1000000, 20000, 10) - 1000000;
+  const MicroSec t_far = far.submit(1000000, 990000, 10) - 1000000;
+  EXPECT_LT(t_near, t_far);
+}
+
+TEST(Disk, FifoQueueing) {
+  Disk d(simple_params());
+  const MicroSec c1 = d.submit(0, 0, 1000);
+  // Second request arrives while the first is in service: it waits.
+  const MicroSec c2 = d.submit(1, c1 == 0 ? 1 : 1000, 1000);
+  EXPECT_GE(c2, c1);
+  // Request arriving after the queue drained starts immediately.
+  const MicroSec c3 = d.submit(c2 + 50000, 2000, 100);
+  EXPECT_EQ(c3, c2 + 50000 + 100 + 100);  // contiguous: overhead + transfer
+}
+
+TEST(Disk, CountersAccumulate) {
+  Disk d(simple_params());
+  (void)d.submit(0, 0, 100);
+  (void)d.submit(0, 100, 200);
+  EXPECT_EQ(d.requests(), 2u);
+  EXPECT_EQ(d.bytes_moved(), 300);
+  EXPECT_GT(d.busy_time(), 0);
+}
+
+TEST(Disk, UtilizationBounded) {
+  Disk d(simple_params());
+  EXPECT_EQ(d.utilization(0), 0.0);
+  (void)d.submit(0, 0, 1000);
+  EXPECT_GT(d.utilization(1000000), 0.0);
+  EXPECT_LE(d.utilization(1), 1.0);
+}
+
+TEST(Disk, RejectsBadRequests) {
+  Disk d(simple_params());
+  EXPECT_THROW(d.submit(-1, 0, 0), util::CheckFailure);
+  EXPECT_THROW(d.submit(0, -1, 0), util::CheckFailure);
+  EXPECT_THROW(d.submit(0, 0, -1), util::CheckFailure);
+}
+
+TEST(Disk, ZeroByteRequestStillCostsOverhead) {
+  Disk d(simple_params());
+  const MicroSec t = d.submit(0, 0, 0);
+  EXPECT_GE(t, 100);
+}
+
+class TransferRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransferRateSweep, TransferTimeMatchesRate) {
+  DiskParams p = simple_params();
+  p.bytes_per_us = GetParam();
+  Disk d(p);
+  (void)d.submit(0, 0, 1000);                        // position the head
+  const MicroSec start = d.submit(10'000'000, 1000, 0);  // contiguous, empty
+  const MicroSec done = d.submit(20'000'000, 1000, 100000);
+  const MicroSec transfer = done - 20'000'000 - (start - 10'000'000);
+  EXPECT_NEAR(static_cast<double>(transfer), 100000.0 / GetParam(),
+              2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TransferRateSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 8.0));
+
+}  // namespace
+}  // namespace charisma::disk

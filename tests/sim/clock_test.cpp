@@ -1,0 +1,76 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace charisma::sim {
+namespace {
+
+TEST(DriftingClock, PerfectClockIsIdentity) {
+  const DriftingClock c;
+  for (MicroSec t : {0LL, 1000LL, 123456789LL}) {
+    EXPECT_EQ(c.local_time(t), t);
+    EXPECT_EQ(c.true_time(t), t);
+  }
+}
+
+TEST(DriftingClock, OffsetShiftsReading) {
+  const DriftingClock c(0, 500, 0.0);
+  EXPECT_EQ(c.local_time(0), 500);
+  EXPECT_EQ(c.local_time(1000), 1500);
+  EXPECT_EQ(c.true_time(1500), 1000);
+}
+
+TEST(DriftingClock, PositiveDriftRunsFast) {
+  const DriftingClock c(0, 0, 100.0);  // +100 ppm
+  EXPECT_EQ(c.local_time(1'000'000), 1'000'100);
+  EXPECT_EQ(c.local_time(10'000'000), 10'001'000);
+}
+
+TEST(DriftingClock, NegativeDriftRunsSlow) {
+  const DriftingClock c(0, 0, -50.0);
+  EXPECT_EQ(c.local_time(1'000'000), 999'950);
+}
+
+TEST(DriftingClock, SyncTimeAnchorsTheSkew) {
+  const DriftingClock c(1'000'000, 0, 100.0);
+  EXPECT_EQ(c.local_time(1'000'000), 1'000'000);  // no skew at sync point
+  EXPECT_EQ(c.local_time(2'000'000), 2'000'100);
+}
+
+class ClockInverseSweep
+    : public ::testing::TestWithParam<std::tuple<double, MicroSec>> {};
+
+TEST_P(ClockInverseSweep, TrueTimeInvertsLocalTime) {
+  const auto [drift, offset] = GetParam();
+  const DriftingClock c(500, offset, drift);
+  for (MicroSec t = 0; t < 100'000'000; t += 7'777'777) {
+    const MicroSec local = c.local_time(t);
+    EXPECT_LE(std::llabs(c.true_time(local) - t), 1) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DriftsAndOffsets, ClockInverseSweep,
+    ::testing::Combine(::testing::Values(-200.0, -50.0, 0.0, 50.0, 150.0),
+                       ::testing::Values<MicroSec>(-2000, 0, 1500)));
+
+TEST(DriftingClock, RandomStaysWithinBounds) {
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = DriftingClock::random(rng, 0, 150.0, 2000);
+    EXPECT_LE(std::abs(c.drift_ppm()), 150.0);
+    EXPECT_LE(std::llabs(c.local_time(0)), 2000);
+  }
+}
+
+TEST(DriftingClock, RandomClocksDiffer) {
+  util::Rng rng(43);
+  const auto a = DriftingClock::random(rng, 0, 150.0, 2000);
+  const auto b = DriftingClock::random(rng, 0, 150.0, 2000);
+  EXPECT_NE(a.drift_ppm(), b.drift_ppm());
+}
+
+}  // namespace
+}  // namespace charisma::sim

@@ -1,0 +1,93 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace charisma::sim {
+namespace {
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+  EXPECT_EQ(e.dispatched_events(), 3u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  MicroSec seen = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_in(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5, [] {}), util::CheckFailure);
+  EXPECT_THROW(e.schedule_in(-1, [] {}), util::CheckFailure);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(20, [&] { ++fired; });
+  e.schedule_at(30, [&] { ++fired; });
+  e.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenIdle) {
+  Engine e;
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.schedule_in(1, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99);
+}
+
+}  // namespace
+}  // namespace charisma::sim

@@ -1,0 +1,105 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace charisma::trace {
+namespace {
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  Record r;
+  r.timestamp = 123456789012345;
+  r.job = 42;
+  r.file = 7;
+  r.offset = 1 << 20;
+  r.bytes = 4096;
+  r.aux = -12;
+  r.node = 127;
+  r.kind = EventKind::kWrite;
+  r.mode = 3;
+
+  std::uint8_t buf[Record::kEncodedSize];
+  r.encode(buf);
+  const Record d = Record::decode(buf);
+  EXPECT_EQ(d.timestamp, r.timestamp);
+  EXPECT_EQ(d.job, r.job);
+  EXPECT_EQ(d.file, r.file);
+  EXPECT_EQ(d.offset, r.offset);
+  EXPECT_EQ(d.bytes, r.bytes);
+  EXPECT_EQ(d.aux, r.aux);
+  EXPECT_EQ(d.node, r.node);
+  EXPECT_EQ(d.kind, r.kind);
+  EXPECT_EQ(d.mode, r.mode);
+}
+
+TEST(Record, ServiceNodeSurvivesRoundTrip) {
+  Record r;
+  r.node = kServiceNode;
+  r.kind = EventKind::kJobStart;
+  std::uint8_t buf[Record::kEncodedSize];
+  r.encode(buf);
+  EXPECT_EQ(Record::decode(buf).node, kServiceNode);
+}
+
+class RecordRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecordRoundTrip, RandomRecordsSurvive) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    Record r;
+    r.timestamp = rng.uniform_range(0, 1LL << 60);
+    r.job = static_cast<cfs::JobId>(rng.uniform_range(-1, 1 << 30));
+    r.file = static_cast<cfs::FileId>(rng.uniform_range(-1, 1 << 30));
+    r.offset = rng.uniform_range(0, 1LL << 40);
+    r.bytes = rng.uniform_range(0, 1LL << 30);
+    r.aux = rng.uniform_range(-(1LL << 40), 1LL << 40);
+    r.node = static_cast<cfs::NodeId>(rng.uniform_range(-1, 127));
+    r.kind = static_cast<EventKind>(rng.uniform_range(1, 8));
+    r.mode = static_cast<std::uint8_t>(rng.uniform_range(0, 3));
+    std::uint8_t buf[Record::kEncodedSize];
+    r.encode(buf);
+    const Record d = Record::decode(buf);
+    EXPECT_EQ(d.timestamp, r.timestamp);
+    EXPECT_EQ(d.offset, r.offset);
+    EXPECT_EQ(d.bytes, r.bytes);
+    EXPECT_EQ(d.aux, r.aux);
+    EXPECT_EQ(d.job, r.job);
+    EXPECT_EQ(d.file, r.file);
+    EXPECT_EQ(d.node, r.node);
+    EXPECT_EQ(d.kind, r.kind);
+    EXPECT_EQ(d.mode, r.mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(Record, OpenAuxPacking) {
+  const auto aux = pack_open_aux(cfs::kRead | cfs::kCreate,
+                                 cfs::IoMode::kOrdered);
+  EXPECT_EQ(open_flags(aux), cfs::kRead | cfs::kCreate);
+  EXPECT_EQ(open_mode(aux), cfs::IoMode::kOrdered);
+}
+
+TEST(Record, IsDataOnlyForReadWrite) {
+  Record r;
+  for (auto kind : {EventKind::kJobStart, EventKind::kJobEnd, EventKind::kOpen,
+                    EventKind::kClose, EventKind::kSeek, EventKind::kDelete}) {
+    r.kind = kind;
+    EXPECT_FALSE(r.is_data());
+  }
+  r.kind = EventKind::kRead;
+  EXPECT_TRUE(r.is_data());
+  r.kind = EventKind::kWrite;
+  EXPECT_TRUE(r.is_data());
+}
+
+TEST(Record, DebugStringMentionsKind) {
+  Record r;
+  r.kind = EventKind::kDelete;
+  EXPECT_NE(r.debug_string().find("DELETE"), std::string::npos);
+  EXPECT_STREQ(to_string(EventKind::kRead), "READ");
+}
+
+}  // namespace
+}  // namespace charisma::trace

@@ -1,0 +1,96 @@
+// The crash-salvaging trace reader.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "trace/postprocess.hpp"
+#include "trace/trace_file.hpp"
+
+namespace charisma::trace {
+namespace {
+
+class TolerantReaderTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "charisma_tolerant.chtr";
+
+  static TraceFile sample(int blocks) {
+    TraceFile t;
+    t.header.compute_nodes = 4;
+    t.header.io_nodes = 2;
+    t.header.label = "crashy";
+    for (int b = 0; b < blocks; ++b) {
+      TraceBlock block;
+      block.node = b % 4;
+      block.sent_local = b * 1000;
+      block.recv_global = b * 1000 + 50;
+      for (int i = 0; i < 8; ++i) {
+        Record r;
+        r.kind = EventKind::kRead;
+        r.node = block.node;
+        r.timestamp = b * 1000 + i;
+        r.bytes = 100;
+        block.records.push_back(r);
+      }
+      t.blocks.push_back(std::move(block));
+    }
+    return t;
+  }
+
+  void truncate_to(std::size_t bytes) {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(std::min(bytes, contents.size())));
+  }
+
+  std::size_t file_size() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    return static_cast<std::size_t>(in.tellg());
+  }
+};
+
+TEST_F(TolerantReaderTest, IntactFileReadsFully) {
+  sample(10).write(path_);
+  bool truncated = true;
+  const auto t = TraceFile::read_tolerant(path_, &truncated);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(t.blocks.size(), 10u);
+  EXPECT_EQ(t.record_count(), 80u);
+}
+
+TEST_F(TolerantReaderTest, SalvagesCompleteBlocksFromCrashedTrace) {
+  sample(10).write(path_);
+  const std::size_t full = file_size();
+  truncate_to(full - 100);  // lose the tail mid-block
+  EXPECT_THROW(TraceFile::read(path_), std::runtime_error);
+  bool truncated = false;
+  const auto t = TraceFile::read_tolerant(path_, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_GE(t.blocks.size(), 8u);
+  EXPECT_LT(t.blocks.size(), 10u);
+  EXPECT_EQ(t.header.label, "crashy");
+  // Every salvaged block is complete.
+  for (const auto& b : t.blocks) EXPECT_EQ(b.records.size(), 8u);
+}
+
+TEST_F(TolerantReaderTest, SalvagedTracePostprocessesCleanly) {
+  sample(20).write(path_);
+  truncate_to(file_size() / 2);
+  const auto t = TraceFile::read_tolerant(path_);
+  const auto sorted = postprocess(t);
+  EXPECT_EQ(sorted.records.size(), t.record_count());
+}
+
+TEST_F(TolerantReaderTest, HeaderDamageStillThrows) {
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << "CHARIS";  // not even a whole magic
+  out.close();
+  EXPECT_THROW(TraceFile::read_tolerant(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace charisma::trace

@@ -1,0 +1,112 @@
+#include "trace/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace charisma::trace {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "charisma_trace_test.chtr";
+
+  static TraceFile sample() {
+    TraceFile t;
+    t.header.compute_nodes = 8;
+    t.header.io_nodes = 2;
+    t.header.block_size = 4096;
+    t.header.seed = 99;
+    t.header.trace_start = 10;
+    t.header.trace_end = 500000;
+    t.header.label = "unit test trace";
+    for (int b = 0; b < 3; ++b) {
+      TraceBlock block;
+      block.node = b;
+      block.sent_local = 1000 * b + 5;
+      block.recv_global = 1000 * b + 105;
+      for (int i = 0; i < 4; ++i) {
+        Record r;
+        r.kind = EventKind::kRead;
+        r.timestamp = 100 * b + i;
+        r.job = b;
+        r.file = i;
+        r.node = b;
+        r.offset = i * 100;
+        r.bytes = 100;
+        block.records.push_back(r);
+      }
+      t.blocks.push_back(std::move(block));
+    }
+    return t;
+  }
+};
+
+TEST_F(TraceFileTest, Counters) {
+  const TraceFile t = sample();
+  EXPECT_EQ(t.record_count(), 12u);
+  EXPECT_EQ(t.data_record_count(), 12u);
+}
+
+TEST_F(TraceFileTest, WriteReadRoundTrip) {
+  const TraceFile t = sample();
+  t.write(path_);
+  const TraceFile r = TraceFile::read(path_);
+  EXPECT_EQ(r.header.compute_nodes, 8);
+  EXPECT_EQ(r.header.io_nodes, 2);
+  EXPECT_EQ(r.header.seed, 99u);
+  EXPECT_EQ(r.header.label, "unit test trace");
+  EXPECT_EQ(r.header.trace_end, 500000);
+  ASSERT_EQ(r.blocks.size(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(r.blocks[b].node, t.blocks[b].node);
+    EXPECT_EQ(r.blocks[b].sent_local, t.blocks[b].sent_local);
+    EXPECT_EQ(r.blocks[b].recv_global, t.blocks[b].recv_global);
+    ASSERT_EQ(r.blocks[b].records.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(r.blocks[b].records[i].timestamp,
+                t.blocks[b].records[i].timestamp);
+      EXPECT_EQ(r.blocks[b].records[i].offset, t.blocks[b].records[i].offset);
+    }
+  }
+}
+
+TEST_F(TraceFileTest, EmptyTraceRoundTrips) {
+  TraceFile t;
+  t.header.label = "empty";
+  t.write(path_);
+  const TraceFile r = TraceFile::read(path_);
+  EXPECT_EQ(r.record_count(), 0u);
+  EXPECT_EQ(r.header.label, "empty");
+}
+
+TEST_F(TraceFileTest, MissingFileThrows) {
+  EXPECT_THROW(TraceFile::read("/nonexistent/nowhere.chtr"),
+               std::runtime_error);
+}
+
+TEST_F(TraceFileTest, BadMagicThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTATRACEFILE AT ALL, SORRY";
+  out.close();
+  EXPECT_THROW(TraceFile::read(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, TruncatedFileThrows) {
+  sample().write(path_);
+  // Chop the file roughly in half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(TraceFile::read(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace charisma::trace

@@ -1,0 +1,133 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace charisma::util {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_weight(), 0.0);
+  EXPECT_EQ(h.fraction_at_or_below(100), 0.0);
+  EXPECT_EQ(h.weight_at(5), 0.0);
+}
+
+TEST(Histogram, AccumulatesWeights) {
+  Histogram h;
+  h.add(10);
+  h.add(10, 2.0);
+  h.add(20, 1.0);
+  EXPECT_EQ(h.distinct_values(), 2u);
+  EXPECT_DOUBLE_EQ(h.weight_at(10), 3.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(Histogram, ZeroWeightIgnored) {
+  Histogram h;
+  h.add(1, 0.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, FractionAtOrBelow) {
+  Histogram h;
+  h.add(1, 1.0);
+  h.add(2, 1.0);
+  h.add(4, 2.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(4), 1.0);
+}
+
+TEST(Cdf, FromHistogram) {
+  Histogram h;
+  h.add(100, 3.0);
+  h.add(50, 1.0);
+  const Cdf cdf(h);
+  EXPECT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.at(49), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(50), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(99), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1e9), 1.0);
+  EXPECT_EQ(cdf.min(), 50.0);
+  EXPECT_EQ(cdf.max(), 100.0);
+}
+
+TEST(Cdf, FromSamplesHandlesDuplicates) {
+  const Cdf cdf = Cdf::from_samples({3.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+}
+
+TEST(Cdf, QuantileInverse) {
+  const Cdf cdf = Cdf::from_samples({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(-1.0), 10.0);  // clamped
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(Cdf, RenderSeriesEmitsOneRowPerPoint) {
+  const Cdf cdf = Cdf::from_samples({1, 2});
+  const std::string s = cdf.render_series({0.5, 1.5, 2.5});
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(LogSpaced, CoversDecades) {
+  const auto xs = log_spaced(10, 1000, 1);
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_NEAR(xs[0], 10.0, 1e-9);
+  EXPECT_NEAR(xs[1], 100.0, 1e-6);
+  EXPECT_NEAR(xs[2], 1000.0, 1e-5);
+  EXPECT_TRUE(log_spaced(-1, 10, 2).empty());
+  EXPECT_TRUE(log_spaced(10, 1, 2).empty());
+  EXPECT_TRUE(log_spaced(1, 10, 0).empty());
+}
+
+class CdfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfProperty, MonotoneNondecreasingAndEndsAtOne) {
+  Rng rng(GetParam());
+  Histogram h;
+  for (int i = 0; i < 500; ++i) {
+    h.add(rng.uniform_range(-1000, 1000), rng.uniform01() + 0.01);
+  }
+  const Cdf cdf(h);
+  double prev = 0.0;
+  for (const auto& p : cdf.points()) {
+    EXPECT_GE(p.cumulative_fraction, prev);
+    prev = p.cumulative_fraction;
+  }
+  EXPECT_DOUBLE_EQ(cdf.points().back().cumulative_fraction, 1.0);
+}
+
+TEST_P(CdfProperty, AtAgreesWithHistogramFraction) {
+  Rng rng(GetParam() ^ 0x55);
+  Histogram h;
+  for (int i = 0; i < 300; ++i) h.add(rng.uniform_range(0, 100));
+  const Cdf cdf(h);
+  for (std::int64_t x = -5; x <= 105; x += 7) {
+    EXPECT_NEAR(cdf.at(static_cast<double>(x)), h.fraction_at_or_below(x),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfProperty,
+                         ::testing::Values(1, 7, 21, 93, 1001));
+
+}  // namespace
+}  // namespace charisma::util

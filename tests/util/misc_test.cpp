@@ -1,0 +1,180 @@
+// Tests for thread pool, units formatting, table rendering, flags, check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace charisma::util {
+namespace {
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    (void)pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneElement) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::logic_error("x");
+                            }),
+               std::logic_error);
+}
+
+// ---- units ---------------------------------------------------------------
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.0 KB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KB");
+  EXPECT_EQ(format_bytes(kMiB), "1.0 MB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.0 GB");
+  EXPECT_EQ(format_bytes(-2048), "-2.0 KB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(5), "5us");
+  EXPECT_EQ(format_duration(1500), "1.5ms");
+  EXPECT_EQ(format_duration(2 * kSecond), "2.0s");
+  EXPECT_EQ(format_duration(90 * kSecond), "1m 30s");
+  EXPECT_EQ(format_duration(3 * kHour + 7 * kMinute), "3h 7m");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(format_percent(0.123), "12.3%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+// ---- Table -----------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("|     1 |"), std::string::npos);  // numeric right-aligned
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| x |"), std::string::npos);
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  Table t({"h"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  // header rule + top + bottom + mid-rule = 4 horizontal rules.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableFmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0), "2.0");
+}
+
+// ---- Flags ------------------------------------------------------------------
+
+TEST(Flags, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--scale=0.5", "--seed=99", "--verbose",
+                        "leftover"};
+  Flags flags(5, const_cast<char**>(argv), {"scale", "seed", "verbose"});
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.get_int("seed", 0), 99);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  ASSERT_EQ(flags.remaining_argc(), 2);
+  EXPECT_STREQ(flags.remaining()[1], "leftover");
+}
+
+TEST(Flags, UnknownFlagsStayInRemaining) {
+  const char* argv[] = {"prog", "--benchmark_filter=abc"};
+  Flags flags(2, const_cast<char**>(argv), {"scale"});
+  EXPECT_FALSE(flags.has("benchmark_filter"));
+  EXPECT_EQ(flags.remaining_argc(), 2);
+}
+
+TEST(Flags, Defaults) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv), {"scale"});
+  EXPECT_EQ(flags.get("scale", "x"), "x");
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 2.5), 2.5);
+  EXPECT_FALSE(flags.get_bool("scale", false));
+}
+
+// ---- check -----------------------------------------------------------------
+
+TEST(Check, ThrowsWithLocation) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "broken invariant");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("misc_test"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace charisma::util

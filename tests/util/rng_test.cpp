@@ -1,0 +1,212 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace charisma::util {
+namespace {
+
+TEST(SplitMix64, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 12345, s2 = 12345;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1 - 1 + splitmix64(s2));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng a(99);
+  Rng child = a.fork();
+  const std::uint64_t c0 = child.next();
+  // Replaying: fork consumes exactly one parent draw.
+  Rng b(99);
+  (void)b.next();
+  Rng child2(Rng(99).next());
+  EXPECT_EQ(c0, child2.next());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformRangeInclusiveBounds) {
+  Rng rng(11);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+  EXPECT_EQ(rng.uniform_range(5, 5), 5);
+  EXPECT_EQ(rng.uniform_range(5, 4), 5);  // degenerate clamps to lo
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(40.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng rng(31);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(3.0, 1.0);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(3.0), 0.8);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(37);
+  const std::array<double, 4> w = {0.0, 1.0, 0.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted(w), 1u);
+}
+
+TEST(Rng, WeightedProportions) {
+  Rng rng(41);
+  const std::array<double, 3> w = {1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted(w)];
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(Rng, WeightedNegativeTreatedAsZero) {
+  Rng rng(43);
+  const std::array<double, 3> w = {-5.0, 1.0, -2.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted(w), 1u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WeightedPicker, MatchesWeightedSemantics) {
+  const std::array<double, 4> w = {2.0, 0.0, 1.0, 1.0};
+  WeightedPicker picker(w);
+  Rng rng(53);
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[picker.pick(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(WeightedPicker, EmptyIsSafe) {
+  WeightedPicker picker;
+  Rng rng(59);
+  EXPECT_EQ(picker.pick(rng), 0u);
+  EXPECT_TRUE(picker.empty());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, Uniform01MeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, UniformIsRoughlyUnbiasedModSmallBound) {
+  Rng rng(GetParam());
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform(5)];
+  for (int c : counts) EXPECT_NEAR(c / 50000.0, 0.2, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 42, 1234, 99999,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace charisma::util

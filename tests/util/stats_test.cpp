@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace charisma::util {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Summary, MatchesDirectComputation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 100};
+  Summary s;
+  double sum = 0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), m2 / (static_cast<double>(xs.size()) - 1), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+}
+
+TEST(Summary, StddevIsSqrtVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const Summary before = a;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+class MergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeProperty, MergeEqualsSequential) {
+  Rng rng(GetParam());
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 5.0);
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeProperty,
+                         ::testing::Values(3, 17, 23, 91));
+
+}  // namespace
+}  // namespace charisma::util

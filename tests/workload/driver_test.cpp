@@ -1,0 +1,168 @@
+#include "workload/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace charisma::workload {
+namespace {
+
+struct Harness {
+  explicit Harness(double scale, std::uint64_t seed = 11) : rng(seed) {
+    WorkloadConfig wc;
+    wc.scale = scale;
+    wc.seed = seed;
+    workload = generate(wc);
+    machine.emplace(engine, ipsc::MachineConfig::nas_ames(), rng);
+    runtime.emplace(*machine);
+    collector.emplace(*machine);
+    driver.emplace(*machine, *runtime, *collector, workload);
+  }
+
+  sim::Engine engine;
+  util::Rng rng;
+  GeneratedWorkload workload;
+  std::optional<ipsc::Machine> machine;
+  std::optional<cfs::Runtime> runtime;
+  std::optional<trace::Collector> collector;
+  std::optional<Driver> driver;
+};
+
+TEST(Driver, RunsEveryJobToCompletion) {
+  Harness h(0.05);
+  h.driver->run();
+  const auto& results = h.driver->results();
+  EXPECT_EQ(results.size(), h.workload.jobs.size());
+  for (const auto& r : results) {
+    EXPECT_GE(r.start, r.arrival);
+    EXPECT_GT(r.end, r.start);
+    EXPECT_EQ(r.io_errors, 0u) << "job " << r.job << " ("
+                               << to_string(r.archetype) << ")";
+  }
+  EXPECT_EQ(h.driver->clamped_jobs(), 0u);
+}
+
+TEST(Driver, ConcurrencyNeverExceedsJobSlots) {
+  Harness h(0.08, 21);
+  h.driver->run();
+  struct Ev {
+    util::MicroSec t;
+    int delta;
+  };
+  std::vector<Ev> evs;
+  for (const auto& j : h.driver->results()) {
+    evs.push_back({j.start, +1});
+    evs.push_back({j.end, -1});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    return a.t != b.t ? a.t < b.t : a.delta < b.delta;
+  });
+  int level = 0, max_level = 0;
+  for (const auto& e : evs) {
+    level += e.delta;
+    max_level = std::max(max_level, level);
+  }
+  EXPECT_LE(max_level, 8);
+}
+
+TEST(Driver, EmitsBalancedJobAndFileEvents) {
+  Harness h(0.05, 31);
+  h.driver->run();
+  const auto trace = h.collector->take_trace();
+  std::map<cfs::JobId, int> job_balance;
+  std::map<std::pair<cfs::JobId, cfs::FileId>, std::map<cfs::NodeId, int>>
+      open_balance;
+  std::uint64_t starts = 0;
+  for (const auto& block : trace.blocks) {
+    for (const auto& r : block.records) {
+      switch (r.kind) {
+        case trace::EventKind::kJobStart:
+          ++job_balance[r.job];
+          ++starts;
+          break;
+        case trace::EventKind::kJobEnd:
+          --job_balance[r.job];
+          break;
+        case trace::EventKind::kOpen:
+          ++open_balance[{r.job, r.file}][r.node];
+          break;
+        case trace::EventKind::kClose:
+          --open_balance[{r.job, r.file}][r.node];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(starts, h.workload.jobs.size());
+  for (const auto& [job, bal] : job_balance) {
+    EXPECT_EQ(bal, 0) << "job " << job << " start/end unbalanced";
+  }
+  for (const auto& [key, nodes] : open_balance) {
+    for (const auto& [node, bal] : nodes) {
+      EXPECT_EQ(bal, 0) << "open/close unbalanced on file " << key.second;
+    }
+  }
+}
+
+TEST(Driver, UntracedJobsLeaveNoFileRecords) {
+  Harness h(0.05, 41);
+  h.driver->run();
+  std::map<cfs::JobId, bool> traced;
+  for (const auto& spec : h.workload.jobs) traced[spec.job] = spec.traced;
+  const auto trace = h.collector->take_trace();
+  for (const auto& block : trace.blocks) {
+    for (const auto& r : block.records) {
+      if (r.kind == trace::EventKind::kJobStart ||
+          r.kind == trace::EventKind::kJobEnd) {
+        continue;
+      }
+      EXPECT_TRUE(traced.at(r.job))
+          << "record from untraced job " << r.job;
+    }
+  }
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  Harness a(0.03, 51), b(0.03, 51);
+  a.driver->run();
+  b.driver->run();
+  const auto ta = a.collector->take_trace();
+  const auto tb = b.collector->take_trace();
+  ASSERT_EQ(ta.record_count(), tb.record_count());
+  ASSERT_EQ(ta.blocks.size(), tb.blocks.size());
+  for (std::size_t i = 0; i < ta.blocks.size(); ++i) {
+    ASSERT_EQ(ta.blocks[i].records.size(), tb.blocks[i].records.size());
+    EXPECT_EQ(ta.blocks[i].sent_local, tb.blocks[i].sent_local);
+    for (std::size_t r = 0; r < ta.blocks[i].records.size(); ++r) {
+      EXPECT_EQ(ta.blocks[i].records[r].timestamp,
+                tb.blocks[i].records[r].timestamp);
+      EXPECT_EQ(ta.blocks[i].records[r].offset,
+                tb.blocks[i].records[r].offset);
+    }
+  }
+  EXPECT_EQ(a.engine.now(), b.engine.now());
+}
+
+TEST(Driver, SubcubesAreReleasedEventually) {
+  Harness h(0.05, 61);
+  h.driver->run();
+  // After the run, restarting a full-machine allocation must be possible;
+  // verify indirectly: the biggest job in the mix ran.
+  bool big_ran = false;
+  for (const auto& r : h.driver->results()) {
+    if (r.nodes == 128) big_ran = r.end > 0;
+  }
+  EXPECT_TRUE(big_ran);
+}
+
+TEST(Driver, ModeRetriesStayBounded) {
+  Harness h(0.3, 71);  // big enough to draw shared-pointer jobs
+  h.driver->run();
+  // Retries happen (mode 2 polling) but never run away.
+  EXPECT_LT(h.driver->mode_retries(), 100000u);
+}
+
+}  // namespace
+}  // namespace charisma::workload

@@ -1,0 +1,103 @@
+#include "workload/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace charisma::workload {
+namespace {
+
+TEST(SubcubeAllocator, FullMachineAllocation) {
+  SubcubeAllocator a(7);
+  EXPECT_EQ(a.total_nodes(), 128);
+  EXPECT_EQ(a.free_nodes(), 128);
+  EXPECT_EQ(a.allocate(128), 0);
+  EXPECT_EQ(a.free_nodes(), 0);
+  EXPECT_EQ(a.allocate(1), -1);
+  a.release(0, 128);
+  EXPECT_EQ(a.free_nodes(), 128);
+}
+
+TEST(SubcubeAllocator, SplitsAndAlignsSubcubes) {
+  SubcubeAllocator a(4);  // 16 nodes
+  const auto b8 = a.allocate(8);
+  const auto b4 = a.allocate(4);
+  const auto b2 = a.allocate(2);
+  const auto b1 = a.allocate(1);
+  for (auto [base, size] : {std::pair{b8, 8}, {b4, 4}, {b2, 2}, {b1, 1}}) {
+    EXPECT_GE(base, 0);
+    EXPECT_EQ(base % size, 0) << "unaligned subcube";
+  }
+  EXPECT_EQ(a.free_nodes(), 1);
+  EXPECT_EQ(a.allocate(2), -1);
+  EXPECT_EQ(a.allocate(1), b1 ^ 1);
+}
+
+TEST(SubcubeAllocator, AllocationsAreDisjoint) {
+  SubcubeAllocator a(5);
+  std::set<std::int32_t> used;
+  for (int size : {8, 4, 4, 8, 2, 2, 2, 1, 1}) {
+    const auto base = a.allocate(size);
+    ASSERT_GE(base, 0);
+    for (int i = 0; i < size; ++i) {
+      EXPECT_TRUE(used.insert(base + i).second) << "node reused";
+    }
+  }
+  EXPECT_EQ(a.free_nodes(), 0);
+}
+
+TEST(SubcubeAllocator, CoalescesBuddiesOnRelease) {
+  SubcubeAllocator a(3);
+  const auto x = a.allocate(4);
+  const auto y = a.allocate(4);
+  a.release(x, 4);
+  a.release(y, 4);
+  // Fully coalesced: the whole cube is allocatable again.
+  EXPECT_EQ(a.allocate(8), 0);
+}
+
+TEST(SubcubeAllocator, FragmentationBlocksBigJobs) {
+  SubcubeAllocator a(3);
+  const auto x = a.allocate(1);
+  ASSERT_EQ(x, 0);
+  (void)a.allocate(1);
+  // 6 nodes free but no aligned 8-cube.
+  EXPECT_EQ(a.allocate(8), -1);
+  EXPECT_EQ(a.allocate(4), 4);
+}
+
+TEST(SubcubeAllocator, RejectsInvalidArguments) {
+  SubcubeAllocator a(3);
+  EXPECT_THROW((void)a.allocate(3), util::CheckFailure);   // not a power of 2
+  EXPECT_THROW((void)a.allocate(0), util::CheckFailure);
+  EXPECT_EQ(a.allocate(16), -1);  // larger than machine
+  EXPECT_THROW(a.release(1, 2), util::CheckFailure);  // misaligned
+}
+
+TEST(SubcubeAllocator, RandomAllocReleaseNeverLeaksNodes) {
+  util::Rng rng(99);
+  SubcubeAllocator a(6);
+  std::vector<std::pair<std::int32_t, std::int32_t>> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.chance(0.55) || held.empty()) {
+      const std::int32_t size = 1 << rng.uniform_range(0, 6);
+      const auto base = a.allocate(size);
+      if (base >= 0) held.emplace_back(base, size);
+    } else {
+      const auto i = rng.uniform(held.size());
+      a.release(held[i].first, held[i].second);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    std::int32_t in_use = 0;
+    for (const auto& [b, s] : held) in_use += s;
+    ASSERT_EQ(a.free_nodes(), 64 - in_use);
+  }
+  for (const auto& [b, s] : held) a.release(b, s);
+  EXPECT_EQ(a.allocate(64), 0);  // fully coalesced at the end
+}
+
+}  // namespace
+}  // namespace charisma::workload

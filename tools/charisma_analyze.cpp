@@ -1,0 +1,150 @@
+// charisma_analyze — offline analysis of a saved CHARISMA trace.
+//
+// Reads a binary trace written by the collector (e.g. via
+// `trace_and_characterize --out=nas.chtr`), postprocesses it (clock fit +
+// chronological sort) and runs the requested analyses, like the analysis
+// programs behind the paper's §4.
+//
+//   charisma_analyze <trace.chtr> [--report=<section>] [--cache=<sim>]
+//                    [--buffers=N] [--policy=lru|fifo|ip] [--strided]
+//
+//   --report:  all (default), jobs, nodes, population, files-per-job,
+//              sizes, requests, sequentiality, intervals, regularity,
+//              modes, sharing
+//   --cache:   io | compute | combined  (trace-driven cache simulation)
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzers.hpp"
+#include "cache/simulators.hpp"
+#include "core/strided.hpp"
+#include "trace/postprocess.hpp"
+#include "util/flags.hpp"
+
+using namespace charisma;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: charisma_analyze <trace.chtr> [--report=SECTION] "
+               "[--cache=io|compute|combined] [--buffers=N] "
+               "[--policy=lru|fifo|ip] [--strided]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"report", "cache", "buffers", "policy", "strided"});
+  if (flags.remaining_argc() < 2) return usage();
+  const std::string path = flags.remaining()[1];
+
+  trace::TraceFile raw;
+  try {
+    raw = trace::TraceFile::read(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("trace '%s': %llu records from %d compute / %d I/O nodes\n",
+              raw.header.label.c_str(),
+              static_cast<unsigned long long>(raw.record_count()),
+              raw.header.compute_nodes, raw.header.io_nodes);
+  const trace::SortedTrace sorted = trace::postprocess(raw);
+  const analysis::SessionStore store(sorted);
+
+  const std::string report = flags.get("report", "all");
+  const auto want = [&](const char* name) {
+    return report == "all" || report == name;
+  };
+  if (want("jobs")) {
+    std::printf("--- Jobs (Figure 1) ---\n%s\n",
+                analysis::analyze_job_concurrency(store).render().c_str());
+  }
+  if (want("nodes")) {
+    std::printf("--- Nodes per job (Figure 2) ---\n%s\n",
+                analysis::analyze_node_counts(store).render().c_str());
+  }
+  if (want("population")) {
+    std::printf("--- File population (S4.2) ---\n%s\n",
+                analysis::analyze_file_population(store).render().c_str());
+  }
+  if (want("files-per-job")) {
+    std::printf("--- Files per job (Table 1) ---\n%s\n",
+                analysis::analyze_files_per_job(store).render().c_str());
+  }
+  if (want("sizes")) {
+    std::printf("--- File sizes (Figure 3) ---\n%s\n",
+                analysis::analyze_file_sizes(store).render().c_str());
+  }
+  if (want("requests")) {
+    std::printf("--- Request sizes (Figure 4) ---\n%s\n",
+                analysis::analyze_request_sizes(sorted).render().c_str());
+  }
+  if (want("sequentiality")) {
+    std::printf("--- Sequentiality (Figures 5/6) ---\n%s\n",
+                analysis::analyze_sequentiality(store).render().c_str());
+  }
+  if (want("intervals")) {
+    std::printf("--- Interval regularity (Table 2) ---\n%s\n",
+                analysis::analyze_intervals(store).render().c_str());
+  }
+  if (want("regularity")) {
+    std::printf("--- Request-size regularity (Table 3) ---\n%s\n",
+                analysis::analyze_request_regularity(store).render().c_str());
+  }
+  if (want("modes")) {
+    std::printf("--- I/O modes (S4.6) ---\n%s\n",
+                analysis::analyze_mode_usage(store).render().c_str());
+  }
+  if (want("sharing")) {
+    std::printf(
+        "--- Sharing (Figure 7) ---\n%s\n",
+        analysis::analyze_sharing(store, raw.header.block_size)
+            .render()
+            .c_str());
+  }
+
+  if (flags.has("cache")) {
+    const auto read_only = store.read_only_sessions();
+    const std::string sim = flags.get("cache", "io");
+    const auto buffers =
+        static_cast<std::size_t>(flags.get_int("buffers", 4000));
+    const std::string pol = flags.get("policy", "lru");
+    cache::Policy policy = cache::Policy::kLru;
+    if (pol == "fifo") policy = cache::Policy::kFifo;
+    if (pol == "ip") policy = cache::Policy::kInterprocessAware;
+
+    if (sim == "compute") {
+      cache::ComputeCacheConfig cfg;
+      cfg.buffers_per_node = std::max<std::size_t>(buffers / 4000, 1);
+      const auto r = cache::simulate_compute_cache(sorted, read_only, cfg);
+      std::printf(
+          "compute-node cache: %zu jobs, %.1f%% at zero, %.1f%% above "
+          "75%%, overall hit rate %.1f%%\n",
+          r.job_hit_rates.size(), r.fraction_jobs_zero * 100.0,
+          r.fraction_jobs_above_75 * 100.0, r.overall_hit_rate() * 100.0);
+    } else {
+      cache::IoNodeSimConfig cfg;
+      cfg.io_nodes = raw.header.io_nodes > 0 ? raw.header.io_nodes : 10;
+      cfg.total_buffers = buffers;
+      cfg.policy = policy;
+      if (sim == "combined") cfg.compute_buffers_per_node = 1;
+      const auto r = cache::simulate_io_cache(sorted, read_only, cfg);
+      std::printf("I/O-node cache (%s, %zu buffers): %s\n",
+                  to_string(policy), buffers, r.describe().c_str());
+    }
+  }
+
+  if (flags.get_bool("strided", false)) {
+    std::printf(
+        "--- Strided rewriting (S5) ---\n%s\n",
+        core::rewrite_strided(sorted, raw.header.io_nodes,
+                              raw.header.block_size)
+            .render()
+            .c_str());
+  }
+  return 0;
+}
