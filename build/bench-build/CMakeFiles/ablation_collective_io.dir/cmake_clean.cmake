@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_collective_io"
+  "../bench/ablation_collective_io.pdb"
+  "CMakeFiles/ablation_collective_io.dir/ablation_collective_io.cpp.o"
+  "CMakeFiles/ablation_collective_io.dir/ablation_collective_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

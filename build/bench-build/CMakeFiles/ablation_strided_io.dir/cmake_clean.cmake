@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strided_io"
+  "../bench/ablation_strided_io.pdb"
+  "CMakeFiles/ablation_strided_io.dir/ablation_strided_io.cpp.o"
+  "CMakeFiles/ablation_strided_io.dir/ablation_strided_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strided_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

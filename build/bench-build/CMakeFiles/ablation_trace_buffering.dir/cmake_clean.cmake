@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trace_buffering"
+  "../bench/ablation_trace_buffering.pdb"
+  "CMakeFiles/ablation_trace_buffering.dir/ablation_trace_buffering.cpp.o"
+  "CMakeFiles/ablation_trace_buffering.dir/ablation_trace_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_bench_common.dir/common.cpp.o"
+  "CMakeFiles/charisma_bench_common.dir/common.cpp.o.d"
+  "libcharisma_bench_common.a"
+  "libcharisma_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

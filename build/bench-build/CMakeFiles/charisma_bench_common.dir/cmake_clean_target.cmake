@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcharisma_bench_common.a"
+)

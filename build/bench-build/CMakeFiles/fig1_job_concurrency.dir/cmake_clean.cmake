@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_job_concurrency"
+  "../bench/fig1_job_concurrency.pdb"
+  "CMakeFiles/fig1_job_concurrency.dir/fig1_job_concurrency.cpp.o"
+  "CMakeFiles/fig1_job_concurrency.dir/fig1_job_concurrency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_job_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

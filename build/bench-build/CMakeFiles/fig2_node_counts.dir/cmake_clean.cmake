@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_node_counts"
+  "../bench/fig2_node_counts.pdb"
+  "CMakeFiles/fig2_node_counts.dir/fig2_node_counts.cpp.o"
+  "CMakeFiles/fig2_node_counts.dir/fig2_node_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_node_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_file_sizes"
+  "../bench/fig3_file_sizes.pdb"
+  "CMakeFiles/fig3_file_sizes.dir/fig3_file_sizes.cpp.o"
+  "CMakeFiles/fig3_file_sizes.dir/fig3_file_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_file_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

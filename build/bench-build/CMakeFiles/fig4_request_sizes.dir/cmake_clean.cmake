@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_request_sizes"
+  "../bench/fig4_request_sizes.pdb"
+  "CMakeFiles/fig4_request_sizes.dir/fig4_request_sizes.cpp.o"
+  "CMakeFiles/fig4_request_sizes.dir/fig4_request_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_request_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_sequentiality"
+  "../bench/fig5_sequentiality.pdb"
+  "CMakeFiles/fig5_sequentiality.dir/fig5_sequentiality.cpp.o"
+  "CMakeFiles/fig5_sequentiality.dir/fig5_sequentiality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sequentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_consecutive"
+  "../bench/fig6_consecutive.pdb"
+  "CMakeFiles/fig6_consecutive.dir/fig6_consecutive.cpp.o"
+  "CMakeFiles/fig6_consecutive.dir/fig6_consecutive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_consecutive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

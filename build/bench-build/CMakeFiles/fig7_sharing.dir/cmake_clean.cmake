@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_sharing"
+  "../bench/fig7_sharing.pdb"
+  "CMakeFiles/fig7_sharing.dir/fig7_sharing.cpp.o"
+  "CMakeFiles/fig7_sharing.dir/fig7_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

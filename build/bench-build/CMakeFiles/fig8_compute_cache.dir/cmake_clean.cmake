@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_compute_cache"
+  "../bench/fig8_compute_cache.pdb"
+  "CMakeFiles/fig8_compute_cache.dir/fig8_compute_cache.cpp.o"
+  "CMakeFiles/fig8_compute_cache.dir/fig8_compute_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_compute_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_ionode_cache"
+  "../bench/fig9_ionode_cache.pdb"
+  "CMakeFiles/fig9_ionode_cache.dir/fig9_ionode_cache.cpp.o"
+  "CMakeFiles/fig9_ionode_cache.dir/fig9_ionode_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ionode_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec42_file_population"
+  "../bench/sec42_file_population.pdb"
+  "CMakeFiles/sec42_file_population.dir/sec42_file_population.cpp.o"
+  "CMakeFiles/sec42_file_population.dir/sec42_file_population.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_file_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec42_file_population.
+# This may be replaced when dependencies are built.

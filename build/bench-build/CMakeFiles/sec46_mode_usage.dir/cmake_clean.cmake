@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec46_mode_usage"
+  "../bench/sec46_mode_usage.pdb"
+  "CMakeFiles/sec46_mode_usage.dir/sec46_mode_usage.cpp.o"
+  "CMakeFiles/sec46_mode_usage.dir/sec46_mode_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_mode_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec48_combined_cache"
+  "../bench/sec48_combined_cache.pdb"
+  "CMakeFiles/sec48_combined_cache.dir/sec48_combined_cache.cpp.o"
+  "CMakeFiles/sec48_combined_cache.dir/sec48_combined_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec48_combined_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

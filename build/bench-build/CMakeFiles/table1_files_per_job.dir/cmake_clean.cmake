@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_files_per_job"
+  "../bench/table1_files_per_job.pdb"
+  "CMakeFiles/table1_files_per_job.dir/table1_files_per_job.cpp.o"
+  "CMakeFiles/table1_files_per_job.dir/table1_files_per_job.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_files_per_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_interval_sizes"
+  "../bench/table2_interval_sizes.pdb"
+  "CMakeFiles/table2_interval_sizes.dir/table2_interval_sizes.cpp.o"
+  "CMakeFiles/table2_interval_sizes.dir/table2_interval_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_interval_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_request_sizes"
+  "../bench/table3_request_sizes.pdb"
+  "CMakeFiles/table3_request_sizes.dir/table3_request_sizes.cpp.o"
+  "CMakeFiles/table3_request_sizes.dir/table3_request_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_request_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

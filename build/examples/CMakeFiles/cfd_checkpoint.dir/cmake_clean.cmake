@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_checkpoint.dir/cfd_checkpoint.cpp.o"
+  "CMakeFiles/cfd_checkpoint.dir/cfd_checkpoint.cpp.o.d"
+  "cfd_checkpoint"
+  "cfd_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

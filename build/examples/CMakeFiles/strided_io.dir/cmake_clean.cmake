@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strided_io.dir/strided_io.cpp.o"
+  "CMakeFiles/strided_io.dir/strided_io.cpp.o.d"
+  "strided_io"
+  "strided_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strided_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_and_characterize.dir/trace_and_characterize.cpp.o"
+  "CMakeFiles/trace_and_characterize.dir/trace_and_characterize.cpp.o.d"
+  "trace_and_characterize"
+  "trace_and_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_and_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

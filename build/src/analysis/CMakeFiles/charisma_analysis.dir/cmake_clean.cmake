@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_analysis.dir/analyzers.cpp.o"
+  "CMakeFiles/charisma_analysis.dir/analyzers.cpp.o.d"
+  "CMakeFiles/charisma_analysis.dir/iorate.cpp.o"
+  "CMakeFiles/charisma_analysis.dir/iorate.cpp.o.d"
+  "CMakeFiles/charisma_analysis.dir/session.cpp.o"
+  "CMakeFiles/charisma_analysis.dir/session.cpp.o.d"
+  "libcharisma_analysis.a"
+  "libcharisma_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_cache.dir/block_cache.cpp.o"
+  "CMakeFiles/charisma_cache.dir/block_cache.cpp.o.d"
+  "CMakeFiles/charisma_cache.dir/prefetch.cpp.o"
+  "CMakeFiles/charisma_cache.dir/prefetch.cpp.o.d"
+  "CMakeFiles/charisma_cache.dir/simulators.cpp.o"
+  "CMakeFiles/charisma_cache.dir/simulators.cpp.o.d"
+  "libcharisma_cache.a"
+  "libcharisma_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

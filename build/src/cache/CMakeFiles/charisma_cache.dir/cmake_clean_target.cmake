@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcharisma_cache.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfs/client.cpp" "src/cfs/CMakeFiles/charisma_cfs.dir/client.cpp.o" "gcc" "src/cfs/CMakeFiles/charisma_cfs.dir/client.cpp.o.d"
+  "/root/repo/src/cfs/file_system.cpp" "src/cfs/CMakeFiles/charisma_cfs.dir/file_system.cpp.o" "gcc" "src/cfs/CMakeFiles/charisma_cfs.dir/file_system.cpp.o.d"
+  "/root/repo/src/cfs/io_node.cpp" "src/cfs/CMakeFiles/charisma_cfs.dir/io_node.cpp.o" "gcc" "src/cfs/CMakeFiles/charisma_cfs.dir/io_node.cpp.o.d"
+  "/root/repo/src/cfs/runtime.cpp" "src/cfs/CMakeFiles/charisma_cfs.dir/runtime.cpp.o" "gcc" "src/cfs/CMakeFiles/charisma_cfs.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipsc/CMakeFiles/charisma_ipsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/charisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/charisma_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charisma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

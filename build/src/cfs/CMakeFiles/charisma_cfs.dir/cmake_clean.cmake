@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_cfs.dir/client.cpp.o"
+  "CMakeFiles/charisma_cfs.dir/client.cpp.o.d"
+  "CMakeFiles/charisma_cfs.dir/file_system.cpp.o"
+  "CMakeFiles/charisma_cfs.dir/file_system.cpp.o.d"
+  "CMakeFiles/charisma_cfs.dir/io_node.cpp.o"
+  "CMakeFiles/charisma_cfs.dir/io_node.cpp.o.d"
+  "CMakeFiles/charisma_cfs.dir/runtime.cpp.o"
+  "CMakeFiles/charisma_cfs.dir/runtime.cpp.o.d"
+  "libcharisma_cfs.a"
+  "libcharisma_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

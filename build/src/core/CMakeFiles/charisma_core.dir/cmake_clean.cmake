@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_core.dir/collective.cpp.o"
+  "CMakeFiles/charisma_core.dir/collective.cpp.o.d"
+  "CMakeFiles/charisma_core.dir/export.cpp.o"
+  "CMakeFiles/charisma_core.dir/export.cpp.o.d"
+  "CMakeFiles/charisma_core.dir/report.cpp.o"
+  "CMakeFiles/charisma_core.dir/report.cpp.o.d"
+  "CMakeFiles/charisma_core.dir/strided.cpp.o"
+  "CMakeFiles/charisma_core.dir/strided.cpp.o.d"
+  "CMakeFiles/charisma_core.dir/study.cpp.o"
+  "CMakeFiles/charisma_core.dir/study.cpp.o.d"
+  "libcharisma_core.a"
+  "libcharisma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_disk.dir/disk.cpp.o"
+  "CMakeFiles/charisma_disk.dir/disk.cpp.o.d"
+  "libcharisma_disk.a"
+  "libcharisma_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_ipsc.dir/machine.cpp.o"
+  "CMakeFiles/charisma_ipsc.dir/machine.cpp.o.d"
+  "libcharisma_ipsc.a"
+  "libcharisma_ipsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_ipsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_net.dir/hypercube.cpp.o"
+  "CMakeFiles/charisma_net.dir/hypercube.cpp.o.d"
+  "CMakeFiles/charisma_net.dir/message.cpp.o"
+  "CMakeFiles/charisma_net.dir/message.cpp.o.d"
+  "libcharisma_net.a"
+  "libcharisma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

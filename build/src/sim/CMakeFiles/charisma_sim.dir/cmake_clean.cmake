@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_sim.dir/clock.cpp.o"
+  "CMakeFiles/charisma_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/charisma_sim.dir/engine.cpp.o"
+  "CMakeFiles/charisma_sim.dir/engine.cpp.o.d"
+  "libcharisma_sim.a"
+  "libcharisma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/collector.cpp" "src/trace/CMakeFiles/charisma_trace.dir/collector.cpp.o" "gcc" "src/trace/CMakeFiles/charisma_trace.dir/collector.cpp.o.d"
+  "/root/repo/src/trace/instrumented_client.cpp" "src/trace/CMakeFiles/charisma_trace.dir/instrumented_client.cpp.o" "gcc" "src/trace/CMakeFiles/charisma_trace.dir/instrumented_client.cpp.o.d"
+  "/root/repo/src/trace/postprocess.cpp" "src/trace/CMakeFiles/charisma_trace.dir/postprocess.cpp.o" "gcc" "src/trace/CMakeFiles/charisma_trace.dir/postprocess.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/charisma_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/charisma_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/charisma_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/charisma_trace.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfs/CMakeFiles/charisma_cfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipsc/CMakeFiles/charisma_ipsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/charisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/charisma_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charisma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_trace.dir/collector.cpp.o"
+  "CMakeFiles/charisma_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/charisma_trace.dir/instrumented_client.cpp.o"
+  "CMakeFiles/charisma_trace.dir/instrumented_client.cpp.o.d"
+  "CMakeFiles/charisma_trace.dir/postprocess.cpp.o"
+  "CMakeFiles/charisma_trace.dir/postprocess.cpp.o.d"
+  "CMakeFiles/charisma_trace.dir/record.cpp.o"
+  "CMakeFiles/charisma_trace.dir/record.cpp.o.d"
+  "CMakeFiles/charisma_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/charisma_trace.dir/trace_file.cpp.o.d"
+  "libcharisma_trace.a"
+  "libcharisma_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

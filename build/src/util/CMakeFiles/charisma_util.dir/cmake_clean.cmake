@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_util.dir/flags.cpp.o"
+  "CMakeFiles/charisma_util.dir/flags.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/histogram.cpp.o"
+  "CMakeFiles/charisma_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/rng.cpp.o"
+  "CMakeFiles/charisma_util.dir/rng.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/stats.cpp.o"
+  "CMakeFiles/charisma_util.dir/stats.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/table.cpp.o"
+  "CMakeFiles/charisma_util.dir/table.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/charisma_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/charisma_util.dir/units.cpp.o"
+  "CMakeFiles/charisma_util.dir/units.cpp.o.d"
+  "libcharisma_util.a"
+  "libcharisma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_workload.dir/driver.cpp.o"
+  "CMakeFiles/charisma_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/charisma_workload.dir/generator.cpp.o"
+  "CMakeFiles/charisma_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/charisma_workload.dir/scheduler.cpp.o"
+  "CMakeFiles/charisma_workload.dir/scheduler.cpp.o.d"
+  "libcharisma_workload.a"
+  "libcharisma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/block_cache_test.cpp" "tests/CMakeFiles/cache_tests.dir/cache/block_cache_test.cpp.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/block_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/prefetch_test.cpp" "tests/CMakeFiles/cache_tests.dir/cache/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/prefetch_test.cpp.o.d"
+  "/root/repo/tests/cache/simulators_test.cpp" "tests/CMakeFiles/cache_tests.dir/cache/simulators_test.cpp.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/simulators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/charisma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/charisma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/charisma_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/charisma_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/charisma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfs/CMakeFiles/charisma_cfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipsc/CMakeFiles/charisma_ipsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/charisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/charisma_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charisma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

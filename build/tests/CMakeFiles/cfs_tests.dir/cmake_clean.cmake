@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_tests.dir/cfs/client_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/client_test.cpp.o.d"
+  "CMakeFiles/cfs_tests.dir/cfs/file_system_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/file_system_test.cpp.o.d"
+  "CMakeFiles/cfs_tests.dir/cfs/fuzz_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/fuzz_test.cpp.o.d"
+  "CMakeFiles/cfs_tests.dir/cfs/io_node_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/io_node_test.cpp.o.d"
+  "CMakeFiles/cfs_tests.dir/cfs/runtime_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/runtime_test.cpp.o.d"
+  "CMakeFiles/cfs_tests.dir/cfs/strided_test.cpp.o"
+  "CMakeFiles/cfs_tests.dir/cfs/strided_test.cpp.o.d"
+  "cfs_tests"
+  "cfs_tests.pdb"
+  "cfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_tests.dir/disk/disk_test.cpp.o"
+  "CMakeFiles/disk_tests.dir/disk/disk_test.cpp.o.d"
+  "disk_tests"
+  "disk_tests.pdb"
+  "disk_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

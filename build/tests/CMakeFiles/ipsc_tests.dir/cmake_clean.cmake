@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsc_tests.dir/ipsc/machine_test.cpp.o"
+  "CMakeFiles/ipsc_tests.dir/ipsc/machine_test.cpp.o.d"
+  "ipsc_tests"
+  "ipsc_tests.pdb"
+  "ipsc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

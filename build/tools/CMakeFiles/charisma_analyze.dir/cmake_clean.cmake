@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_analyze.dir/charisma_analyze.cpp.o"
+  "CMakeFiles/charisma_analyze.dir/charisma_analyze.cpp.o.d"
+  "charisma_analyze"
+  "charisma_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
