@@ -1,5 +1,7 @@
 #include "cache/block_cache.hpp"
 
+#include "util/check.hpp"
+
 namespace charisma::cache {
 
 BlockCache::BlockCache(std::size_t capacity, Policy policy)
@@ -25,7 +27,13 @@ bool BlockCache::access(const BlockKey& key, NodeId node) {
   Entry e;
   e.order_it = order_.begin();
   if (policy_ == Policy::kInterprocessAware) e.accessors.insert(node);
-  entries_.emplace(key, std::move(e));
+  const bool inserted = entries_.emplace(key, std::move(e)).second;
+  CHECK(inserted, "double-insert of block (file=", key.file,
+        ", block=", key.block, ") into ", to_string(policy_), " cache");
+  CHECK(entries_.size() <= capacity_, "cache occupancy ", entries_.size(),
+        " exceeds capacity ", capacity_);
+  DCHECK(order_.size() == entries_.size(),
+         "recency list out of sync with entry map");
   return false;
 }
 

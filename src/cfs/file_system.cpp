@@ -114,16 +114,25 @@ bool FileSystem::unlink(JobId /*job*/, const std::string& path) {
 }
 
 void FileSystem::allocate_to(Inode& ino, std::int64_t new_size) {
+  CHECK(new_size >= 0, "allocate_to(", new_size, ") on ", ino.path);
   const std::int64_t bs = params_.block_size;
   const std::int64_t blocks_needed = (new_size + bs - 1) / bs;
   while (static_cast<std::int64_t>(ino.block_addr.size()) < blocks_needed) {
     const auto b = static_cast<std::int64_t>(ino.block_addr.size());
     const int io = static_cast<int>((ino.first_stripe + b) % params_.io_nodes);
     auto& next = disk_next_free_[static_cast<std::size_t>(io)];
+    // Stripe units are whole 4 KB blocks laid down back to back, so every
+    // allocation lands block-aligned; an unaligned address means the
+    // allocator's bookkeeping was corrupted.
+    CHECK(next % bs == 0, "unaligned stripe unit at disk offset ", next,
+          " on I/O node ", io);
     ino.block_addr.push_back(next);
     next += bs;
   }
   ino.size = std::max(ino.size, new_size);
+  CHECK(static_cast<std::int64_t>(ino.block_addr.size()) * bs >= ino.size,
+        "extent of ", ino.path, " (", ino.block_addr.size(),
+        " blocks) does not cover size ", ino.size);
 }
 
 Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
@@ -193,6 +202,12 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
     }
   }
 
+  // File-pointer consistency: every mode computes its offset from session
+  // bookkeeping (per-node pointer, shared pointer, or round counter); a
+  // negative offset means that bookkeeping went bad, not the caller.
+  CHECK(offset >= 0, "mode ", to_string(s->mode), " pointer for node ", node,
+        " went negative: ", offset);
+
   std::int64_t granted = bytes;
   if (is_write) {
     if (granted > 0) {
@@ -204,6 +219,11 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
     }
   } else {
     granted = std::clamp<std::int64_t>(ino.size - offset, 0, bytes);
+    // A pointer parked at/past EOF legitimately grants zero bytes; only a
+    // non-empty reservation must stay inside the file.
+    CHECK(granted == 0 || offset + granted <= ino.size,
+          "read reservation [", offset, ", ", offset + granted,
+          ") beyond EOF at ", ino.size);
   }
 
   // Advance the pointer that produced the offset.
@@ -309,11 +329,17 @@ std::vector<BlockAccess> FileSystem::plan(FileId file, std::int64_t offset,
     const std::int64_t block = pos / bs;
     const std::int64_t in_block = pos % bs;
     const std::int64_t len = std::min(end - pos, bs - in_block);
-    util::check(block < static_cast<std::int64_t>(ino.block_addr.size()),
-                "plan beyond allocated blocks");
+    CHECK(block < static_cast<std::int64_t>(ino.block_addr.size()),
+          "plan for ", ino.path, " reaches block ", block, " but only ",
+          ino.block_addr.size(), " are allocated");
     BlockAccess a;
     a.io_node = static_cast<int>((ino.first_stripe + block) % params_.io_nodes);
     a.disk_offset = ino.block_addr[static_cast<std::size_t>(block)] + in_block;
+    // Stripe-unit alignment: the block's base address must sit on a 4 KB
+    // boundary of its I/O node's disk.
+    DCHECK((a.disk_offset - in_block) % bs == 0,
+           "block ", block, " of ", ino.path, " mapped to unaligned address ",
+           a.disk_offset - in_block);
     a.file_block = block;
     a.bytes = len;
     accesses.push_back(a);

@@ -5,12 +5,14 @@
 namespace charisma::sim {
 
 void Engine::schedule_at(MicroSec at, Callback fn) {
-  util::check(at >= now_, "cannot schedule an event in the past");
+  // A stale event would silently dispatch at the wrong time: the priority
+  // queue orders by `at`, so a past timestamp jumps the whole queue.
+  CHECK(at >= now_, "schedule_at(", at, ") is in the past: now()=", now_);
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
 void Engine::schedule_in(MicroSec delay, Callback fn) {
-  util::check(delay >= 0, "negative delay");
+  CHECK(delay >= 0, "schedule_in(", delay, ") with a negative delay");
   schedule_at(now_ + delay, std::move(fn));
 }
 
@@ -19,6 +21,8 @@ bool Engine::step() {
   // priority_queue::top is const; the callback must be moved out before pop.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
+  // Monotone dispatch: simulated time never moves backwards.
+  CHECK(ev.at >= now_, "event at t=", ev.at, " dispatched after now()=", now_);
   now_ = ev.at;
   ++dispatched_;
   ev.fn();

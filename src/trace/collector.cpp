@@ -21,11 +21,20 @@ std::size_t Collector::records_per_buffer() const noexcept {
 }
 
 void Collector::append(Record record) {
-  util::check(record.node >= 0 && record.node < machine_->compute_nodes(),
-              "record from unknown node");
+  CHECK(record.node >= 0 && record.node < machine_->compute_nodes(),
+        "record from unknown node ", record.node, " (machine has ",
+        machine_->compute_nodes(), " compute nodes)");
   const MicroSec now = machine_->engine().now();
   record.timestamp = machine_->clock(record.node).local_time(now);
   auto& buf = buffers_[static_cast<std::size_t>(record.node)];
+  // Monotone per-node record times: a node's drifting clock still only runs
+  // forwards, so a regression here means engine time ran backwards or the
+  // drift model produced a non-monotone mapping.
+  CHECK(!buf.any_records || record.timestamp >= buf.last_timestamp,
+        "node ", record.node, " clock ran backwards: ", record.timestamp,
+        " after ", buf.last_timestamp);
+  buf.last_timestamp = record.timestamp;
+  buf.any_records = true;
   buf.records.push_back(record);
   ++records_seen_;
   if (buf.records.size() >= records_per_buffer()) flush_node(record.node);

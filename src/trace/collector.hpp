@@ -60,6 +60,11 @@ class Collector {
  private:
   struct NodeBuffer {
     std::vector<Record> records;
+    /// Newest local timestamp this node has emitted (survives flushes):
+    /// per-node record times must be monotone or the postprocessor's clock
+    /// fit is built on sand.
+    MicroSec last_timestamp = 0;
+    bool any_records = false;
   };
   [[nodiscard]] std::size_t records_per_buffer() const noexcept;
   void flush_node(NodeId node);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <map>
 #include <numeric>
 
 namespace charisma::trace {
@@ -17,7 +18,9 @@ std::unordered_map<NodeId, ClockFit> fit_clocks(const TraceFile& trace) {
     double sum_l = 0, sum_g = 0, sum_ll = 0, sum_lg = 0;
     std::size_t n = 0;
   };
-  std::unordered_map<NodeId, Acc> accs;
+  // Ordered map: the fitting loop below iterates, and iteration order must
+  // not depend on hash layout (charisma-unordered-iter).
+  std::map<NodeId, Acc> accs;
   for (const auto& b : trace.blocks) {
     auto& a = accs[b.node];
     const auto l = static_cast<double>(b.sent_local);

@@ -51,6 +51,46 @@ std::uint64_t TraceFile::data_record_count() const noexcept {
   return n;
 }
 
+namespace {
+
+inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+inline void fnv1a_value(std::uint64_t& h, T v) noexcept {
+  fnv1a(h, &v, sizeof v);
+}
+
+}  // namespace
+
+std::uint64_t TraceFile::digest() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  fnv1a_value(h, header.compute_nodes);
+  fnv1a_value(h, header.io_nodes);
+  fnv1a_value(h, header.block_size);
+  fnv1a_value(h, header.seed);
+  fnv1a_value(h, header.trace_start);
+  fnv1a_value(h, header.trace_end);
+  fnv1a(h, header.label.data(), header.label.size());
+  std::uint8_t enc[Record::kEncodedSize];
+  for (const auto& b : blocks) {
+    fnv1a_value(h, b.node);
+    fnv1a_value(h, b.sent_local);
+    fnv1a_value(h, b.recv_global);
+    fnv1a_value(h, static_cast<std::uint32_t>(b.records.size()));
+    for (const auto& r : b.records) {
+      r.encode(enc);
+      fnv1a(h, enc, sizeof enc);
+    }
+  }
+  return h;
+}
+
 void TraceFile::write(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open trace file: " + path);
@@ -88,8 +128,12 @@ namespace {
 TraceFile read_impl(const std::string& path, bool tolerant,
                     bool* truncated) {
   if (truncated != nullptr) *truncated = false;
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  // Size up front: corrupt counts are bounded against it below so a flipped
+  // length field is rejected instead of driving a multi-gigabyte allocation.
+  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  in.seekg(0);
   char magic[8];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, TraceFile::kMagic, sizeof magic) != 0) {
@@ -108,7 +152,12 @@ TraceFile read_impl(const std::string& path, bool tolerant,
   t.header.label = take_string(in);
 
   const auto nblocks = take<std::uint64_t>(in);
-  t.blocks.reserve(nblocks);
+  // Each block costs at least its 24-byte stamp on disk, which bounds any
+  // honest nblocks; reserve no more than that so a corrupt count cannot
+  // balloon the allocation (the loop below still detects truncation).
+  const std::uint64_t max_plausible_blocks =
+      static_cast<std::uint64_t>(file_size) / 24 + 1;
+  t.blocks.reserve(std::min(nblocks, max_plausible_blocks));
   std::vector<std::uint8_t> buf;
   for (std::uint64_t i = 0; i < nblocks; ++i) {
     TraceBlock b;
@@ -117,6 +166,13 @@ TraceFile read_impl(const std::string& path, bool tolerant,
       b.sent_local = take<std::int64_t>(in);
       b.recv_global = take<std::int64_t>(in);
       const auto count = take<std::uint32_t>(in);
+      const std::int64_t pos = static_cast<std::int64_t>(in.tellg());
+      if (pos < 0 ||
+          static_cast<std::int64_t>(count) >
+              (file_size - pos) / static_cast<std::int64_t>(
+                                      Record::kEncodedSize)) {
+        throw std::runtime_error("trace file truncated");
+      }
       buf.resize(static_cast<std::size_t>(count) * Record::kEncodedSize);
       in.read(reinterpret_cast<char*>(buf.data()),
               static_cast<std::streamsize>(buf.size()));

@@ -41,6 +41,11 @@ class TraceFile {
   [[nodiscard]] std::uint64_t record_count() const noexcept;
   [[nodiscard]] std::uint64_t data_record_count() const noexcept;
 
+  /// Order-sensitive FNV-1a digest of the header, block stamps, and every
+  /// record's on-disk encoding.  Equal digests mean write() would produce
+  /// byte-identical files — the determinism self-check compares these.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
   /// Serializes to `path`; throws std::runtime_error on I/O failure.
   void write(const std::string& path) const;
   /// Reads a trace back; throws std::runtime_error on malformed input.

@@ -1,0 +1,31 @@
+// Deliberately hazardous input for the charisma_lint golden test.  Never
+// compiled — only scanned.  Line numbers are load-bearing: the golden file
+// pins every finding to its line.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+long wall() {
+  auto t = std::chrono::system_clock::now();
+  return time(nullptr);
+}
+
+int entropy() {
+  std::random_device rd;
+  return rand() + static_cast<int>(rd());
+}
+
+float lossy_time = 1.0f;
+
+void report() {
+  std::unordered_map<int, int> totals;
+  for (const auto& [k, v] : totals) {
+    (void)k;
+    (void)v;
+  }
+}
+
+long allowed() {
+  return time(nullptr);  // NOLINT(charisma-wallclock)
+}
+// NOLINT(charisma-no-such-rule) — a stale escape hatch is itself a finding.

@@ -1,0 +1,204 @@
+// The lint rule engine itself is part of the determinism contract, so its
+// rules are golden-tested: every rule must fire on a crafted bad input, and
+// every escape hatch must actually suppress.
+#include "tools/lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace charisma::lint {
+namespace {
+
+// The tests feed sources through an ordering-sensitive classification unless
+// stated otherwise: that enables every rule.
+FileClass sensitive() {
+  FileClass cls;
+  cls.ordering_sensitive = true;
+  return cls;
+}
+
+std::vector<std::string> rules_fired(std::string_view src,
+                                     FileClass cls = sensitive()) {
+  std::vector<std::string> out;
+  for (const auto& f : scan_source("test.cpp", src, cls)) {
+    out.push_back(f.rule);
+  }
+  return out;
+}
+
+TEST(LintRules, WallClockSourcesFire) {
+  EXPECT_EQ(rules_fired("auto t = std::chrono::system_clock::now();"),
+            std::vector<std::string>{"charisma-wallclock"});
+  EXPECT_EQ(rules_fired("auto t = std::chrono::steady_clock::now();"),
+            std::vector<std::string>{"charisma-wallclock"});
+  EXPECT_EQ(rules_fired("gettimeofday(&tv, nullptr);"),
+            std::vector<std::string>{"charisma-wallclock"});
+  EXPECT_EQ(rules_fired("long t = time(nullptr);"),
+            std::vector<std::string>{"charisma-wallclock"});
+}
+
+TEST(LintRules, TimeRequiresCallShape) {
+  // Identifiers merely containing 'time' are not wall-clock reads.
+  EXPECT_TRUE(rules_fired("auto x = clock.local_time(now);").empty());
+  EXPECT_TRUE(rules_fired("MicroSec time = 0; use(time);").empty());
+  // ...but a call through the bare name is.
+  EXPECT_EQ(rules_fired("auto x = time (nullptr);"),
+            std::vector<std::string>{"charisma-wallclock"});
+}
+
+TEST(LintRules, RawRandomFires) {
+  EXPECT_EQ(rules_fired("int x = rand();"),
+            std::vector<std::string>{"charisma-raw-random"});
+  EXPECT_EQ(rules_fired("srand(42);"),
+            std::vector<std::string>{"charisma-raw-random"});
+  EXPECT_EQ(rules_fired("std::random_device rd;"),
+            std::vector<std::string>{"charisma-raw-random"});
+}
+
+TEST(LintRules, UtilRngIsExemptFromRawRandom) {
+  const auto cls = classify_path("src/util/rng.cpp");
+  EXPECT_TRUE(cls.rng_exempt);
+  EXPECT_TRUE(scan_source("src/util/rng.cpp",
+                          "std::random_device rd; // seeding helper", cls)
+                  .empty());
+}
+
+TEST(LintRules, FloatFires) {
+  EXPECT_EQ(rules_fired("float seconds = 0.5f;"),
+            std::vector<std::string>{"charisma-float-time"});
+  // double is the sanctioned floating type.
+  EXPECT_TRUE(rules_fired("double seconds = 0.5;").empty());
+  // 'float' inside identifiers or strings does not fire.
+  EXPECT_TRUE(rules_fired("int float_count = 0;").empty());
+  EXPECT_TRUE(rules_fired("const char* s = \"float\";").empty());
+}
+
+TEST(LintRules, UnorderedIterationFiresOnlyInSensitivePaths) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> totals;\n"
+      "void f() { for (const auto& [k, v] : totals) { use(k, v); } }\n";
+  EXPECT_EQ(rules_fired(src), std::vector<std::string>{
+                                  "charisma-unordered-iter"});
+  EXPECT_TRUE(rules_fired(src, FileClass{}).empty());
+}
+
+TEST(LintRules, UnorderedLookupIsFine) {
+  // find()/operator[] don't depend on hash order; only iteration does.
+  EXPECT_TRUE(rules_fired("std::unordered_map<int, int> m;\n"
+                          "int g() { return m.count(3); }\n")
+                  .empty());
+  // Iterating a std::map is fine too.
+  EXPECT_TRUE(rules_fired("std::map<int, int> m;\n"
+                          "void f() { for (auto& [k, v] : m) use(k); }\n")
+                  .empty());
+}
+
+TEST(LintRules, MultiLineTemplateArgumentsAreTracked) {
+  const std::string src =
+      "std::unordered_map<Key,\n"
+      "                   Value>\n"
+      "    lookup;\n"
+      "void f() { for (const auto& kv : lookup) use(kv); }\n";
+  const auto findings = scan_source("test.cpp", src, sensitive());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "charisma-unordered-iter");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintRules, CommentsAndStringsAreBlanked) {
+  EXPECT_TRUE(rules_fired("// rand() in a comment\n"
+                          "/* time(nullptr) in a block comment */\n"
+                          "const char* s = \"rand() time(0) float\";\n")
+                  .empty());
+}
+
+TEST(LintRules, NolintSuppressesOnSameLine) {
+  EXPECT_TRUE(
+      rules_fired("long t = time(nullptr);  // NOLINT(charisma-wallclock)\n")
+          .empty());
+  // Bare NOLINT suppresses everything on the line.
+  EXPECT_TRUE(rules_fired("float f = rand();  // NOLINT\n").empty());
+  // A different rule's NOLINT does not.
+  EXPECT_EQ(rules_fired("long t = time(nullptr);  "
+                        "// NOLINT(charisma-raw-random)\n"),
+            std::vector<std::string>{"charisma-wallclock"});
+}
+
+TEST(LintRules, NolintNextLine) {
+  EXPECT_TRUE(rules_fired("// NOLINTNEXTLINE(charisma-wallclock)\n"
+                          "long t = time(nullptr);\n")
+                  .empty());
+}
+
+TEST(LintRules, UnknownCharismaSuppressionIsItselfAFinding) {
+  const auto fired =
+      rules_fired("int x = 0;  // NOLINT(charisma-imaginary-rule)\n");
+  EXPECT_EQ(fired, std::vector<std::string>{"charisma-unknown-suppression"});
+  // Non-charisma rule names (clang-tidy's) are none of our business.
+  EXPECT_TRUE(rules_fired("int x = 0;  // NOLINT(bugprone-foo)\n").empty());
+}
+
+TEST(LintRules, FindingsAreDeterministicallySorted) {
+  const std::string src = "float b = rand();\nfloat a = time(nullptr);\n";
+  const auto first = scan_source("test.cpp", src, sensitive());
+  const auto second = scan_source("test.cpp", src, sensitive());
+  EXPECT_EQ(first, second);
+  ASSERT_GE(first.size(), 2u);
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].line, first[i].line);
+  }
+}
+
+TEST(LintRules, ClassifyPaths) {
+  EXPECT_TRUE(classify_path("src/analysis/analyzers.cpp").ordering_sensitive);
+  EXPECT_TRUE(classify_path("src/core/report.cpp").ordering_sensitive);
+  EXPECT_TRUE(classify_path("src/core/export.cpp").ordering_sensitive);
+  EXPECT_TRUE(classify_path("src/trace/postprocess.cpp").ordering_sensitive);
+  EXPECT_FALSE(classify_path("src/sim/engine.cpp").ordering_sensitive);
+  EXPECT_TRUE(classify_path("src/util/rng.cpp").rng_exempt);
+  EXPECT_FALSE(classify_path("src/util/stats.cpp").rng_exempt);
+}
+
+// The golden test: every rule demonstrated on one crafted bad input, the
+// expected findings pinned line by line.
+TEST(LintGolden, BadInputMatchesGoldenFindings) {
+  const std::string dir = CHARISMA_LINT_TEST_DATA_DIR;
+  std::ifstream bad(dir + "/bad_determinism.cpp", std::ios::binary);
+  ASSERT_TRUE(bad.is_open()) << "missing fixture in " << dir;
+  std::stringstream src;
+  src << bad.rdbuf();
+
+  const std::string label = "src/analysis/bad_determinism.cpp";
+  const auto findings =
+      scan_source(label, src.str(), classify_path(label));
+
+  std::vector<std::string> got;
+  for (const auto& f : findings) got.push_back(format(f));
+
+  std::ifstream golden_in(dir + "/bad_determinism.golden");
+  ASSERT_TRUE(golden_in.is_open());
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(golden_in, line)) {
+    if (!line.empty()) expected.push_back(line);
+  }
+  EXPECT_EQ(got, expected);
+
+  // Every rule except the suppressed wallclock escape hatch must appear.
+  std::set<std::string> fired;
+  for (const auto& f : findings) fired.insert(f.rule);
+  for (const auto& rule : known_rules()) {
+    EXPECT_TRUE(fired.count(rule) > 0) << "rule never fired: " << rule;
+  }
+}
+
+TEST(LintGolden, ListsAllKnownRules) {
+  EXPECT_EQ(known_rules().size(), 5u);
+}
+
+}  // namespace
+}  // namespace charisma::lint

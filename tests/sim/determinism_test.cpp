@@ -1,0 +1,94 @@
+// Tie-break determinism: the engine's contract (engine.hpp) is that events
+// at equal timestamps dispatch in schedule order, regardless of how the
+// underlying heap rebalances.  These tests hammer that with shuffled
+// insertion patterns — the exact scenario where a heap without the sequence
+// tiebreaker goes wrong silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace charisma::sim {
+namespace {
+
+TEST(TieBreak, SameTimestampDispatchesInScheduleOrderAcross100Shuffles) {
+  util::Rng rng(20260805);
+  constexpr int kEvents = 32;
+  for (int trial = 0; trial < 100; ++trial) {
+    // A shuffled payload assignment: payload[i] is handed to the i-th
+    // schedule_at call, so dispatch order must replay payload exactly.
+    std::vector<int> payload(kEvents);
+    std::iota(payload.begin(), payload.end(), 0);
+    rng.shuffle(payload);
+
+    Engine e;
+    std::vector<int> dispatched;
+    for (int i = 0; i < kEvents; ++i) {
+      e.schedule_at(1000, [&dispatched, v = payload[static_cast<std::size_t>(
+                               i)]] { dispatched.push_back(v); });
+    }
+    e.run();
+    EXPECT_EQ(dispatched, payload) << "trial " << trial;
+  }
+}
+
+TEST(TieBreak, MixedTimestampsSortStablyByScheduleOrder) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Events across a handful of distinct times, many per time.
+    struct Ev {
+      MicroSec at;
+      int id;
+    };
+    std::vector<Ev> events;
+    int id = 0;
+    for (int rep = 0; rep < 8; ++rep) {
+      for (MicroSec t : {10, 20, 20, 30, 30, 30}) {
+        events.push_back({t + static_cast<MicroSec>(
+                                  rng.uniform(2) * 100),  // 10..130
+                          id++});
+      }
+    }
+    rng.shuffle(events);
+
+    // Expectation: stable sort by time over the *insertion* sequence.
+    std::vector<Ev> expected = events;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ev& a, const Ev& b) { return a.at < b.at; });
+
+    Engine e;
+    std::vector<int> dispatched;
+    for (const Ev& ev : events) {
+      e.schedule_at(ev.at, [&dispatched, v = ev.id] {
+        dispatched.push_back(v);
+      });
+    }
+    e.run();
+    ASSERT_EQ(dispatched.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(dispatched[i], expected[i].id) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TieBreak, EventsScheduledDuringDispatchKeepOrderToo) {
+  // Callbacks scheduling at the *current* time must run after everything
+  // already queued at that time, in their own schedule order.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] {
+    order.push_back(0);
+    e.schedule_at(5, [&] { order.push_back(2); });
+    e.schedule_at(5, [&] { order.push_back(3); });
+  });
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace charisma::sim

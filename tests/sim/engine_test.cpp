@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -47,6 +48,38 @@ TEST(Engine, PastSchedulingThrows) {
   e.run();
   EXPECT_THROW(e.schedule_at(5, [] {}), util::CheckFailure);
   EXPECT_THROW(e.schedule_in(-1, [] {}), util::CheckFailure);
+}
+
+TEST(Engine, PastSchedulingReportsTimesAndLeavesQueueIntact) {
+  // Regression: a stale event must be rejected loudly (the priority queue
+  // would otherwise dispatch it "now" under a past timestamp) and the
+  // rejection must not corrupt the queue.
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  e.schedule_at(200, [] {});
+  const std::size_t pending = e.pending_events();
+  try {
+    e.schedule_at(50, [] {});
+    FAIL() << "schedule_at(50) accepted with now()=100";
+  } catch (const util::CheckFailure& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("50"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+  }
+  EXPECT_EQ(e.pending_events(), pending);
+  EXPECT_EQ(e.now(), 100);
+  e.run();  // the intact queue still drains
+  EXPECT_EQ(e.now(), 200);
+}
+
+TEST(Engine, SchedulingAtNowIsAllowed) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(10, [&] { e.schedule_at(e.now(), [&] { ran = true; }); });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.now(), 10);
 }
 
 TEST(Engine, RunUntilStopsAtDeadline) {

@@ -1,10 +1,12 @@
 // The crash-salvaging trace reader.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 
 #include "trace/postprocess.hpp"
 #include "trace/trace_file.hpp"
+#include "util/rng.hpp"
 
 namespace charisma::trace {
 namespace {
@@ -90,6 +92,106 @@ TEST_F(TolerantReaderTest, HeaderDamageStillThrows) {
   out << "CHARIS";  // not even a whole magic
   out.close();
   EXPECT_THROW(TraceFile::read_tolerant(path_), std::runtime_error);
+}
+
+// The remaining tests are the UBSan/ASan audit for the salvage path: any
+// truncation or byte corruption must end in a clean rejection (throw or
+// truncated=true) — never UB, never an attempted multi-gigabyte allocation.
+
+TEST_F(TolerantReaderTest, TruncationAtEveryByteIsRejectedCleanly) {
+  sample(3).write(path_);
+  std::ifstream in(path_, std::ios::binary);
+  const std::string intact((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t len = 0; len < intact.size(); ++len) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(intact.data(), static_cast<std::streamsize>(len));
+    }
+    bool truncated = false;
+    try {
+      const auto t = TraceFile::read_tolerant(path_, &truncated);
+      // Salvage succeeded: the prefix really was shorter than the file, so
+      // the reader must say so, and every salvaged block is complete.
+      EXPECT_TRUE(truncated) << "prefix length " << len;
+      for (const auto& b : t.blocks) EXPECT_EQ(b.records.size(), 8u);
+    } catch (const std::runtime_error&) {
+      // Header unreadable: also a clean rejection.
+      EXPECT_LT(len, intact.size());
+    }
+  }
+}
+
+TEST_F(TolerantReaderTest, CorruptRecordCountCannotBalloonAllocation) {
+  sample(4).write(path_);
+  // The first block's record-count field sits right after the header and
+  // the block stamp; compute its offset from the write() layout.
+  const std::size_t header_bytes = 8 /*magic*/ + 4 /*version*/ + 4 + 4 +
+                                   8 + 8 + 8 + 8 + 4 +
+                                   std::string("crashy").size();
+  const std::size_t count_offset =
+      header_bytes + 8 /*nblocks*/ + 4 /*node*/ + 8 /*sent*/ + 8 /*recv*/;
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(count_offset));
+    const std::uint32_t huge = 0xffffffffu;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  }
+  bool truncated = false;
+  const auto t = TraceFile::read_tolerant(path_, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(t.blocks.size(), 0u);  // the poisoned block is the first
+  EXPECT_THROW(TraceFile::read(path_), std::runtime_error);
+}
+
+TEST_F(TolerantReaderTest, CorruptBlockCountCannotBalloonAllocation) {
+  sample(4).write(path_);
+  const std::size_t nblocks_offset = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 +
+                                     std::string("crashy").size();
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(nblocks_offset));
+    const std::uint64_t huge = 0xffffffffffffffffULL;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  }
+  bool truncated = false;
+  const auto t = TraceFile::read_tolerant(path_, &truncated);
+  // The honest blocks still salvage; the bogus trailing count is truncation.
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(t.blocks.size(), 4u);
+}
+
+TEST_F(TolerantReaderTest, RandomByteFlipsNeverCrashTheReader) {
+  sample(6).write(path_);
+  std::ifstream in(path_, std::ios::binary);
+  const std::string intact((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  in.close();
+  util::Rng rng(0xfeedface);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupt = intact;
+    const int flips = 1 + static_cast<int>(rng.uniform(4));
+    for (int i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(rng.uniform(corrupt.size()));
+      corrupt[pos] = static_cast<char>(
+          static_cast<unsigned char>(corrupt[pos]) ^
+          static_cast<unsigned char>(1u << rng.uniform(8)));
+    }
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(),
+                static_cast<std::streamsize>(corrupt.size()));
+    }
+    bool truncated = false;
+    try {
+      const auto t = TraceFile::read_tolerant(path_, &truncated);
+      // Decoded garbage must still be bounded by the file's actual size.
+      EXPECT_LE(t.record_count(), 16u * 6u) << "trial " << trial;
+    } catch (const std::runtime_error&) {
+      // Clean rejection (magic/version/label damage) is fine too.
+    }
+  }
 }
 
 }  // namespace

@@ -176,5 +176,45 @@ TEST(Check, ThrowsWithLocation) {
   }
 }
 
+TEST(Check, MacroStreamsValuesIntoMessage) {
+  const int got = 7;
+  const int want = 9;
+  EXPECT_NO_THROW(CHECK(got < want));
+  try {
+    CHECK(got == want, "got ", got, " but wanted ", want);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got == want"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 7 but wanted 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("misc_test"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MacroWithoutMessageStillNamesExpression) {
+  try {
+    CHECK(1 + 1 == 3);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("1 + 1 == 3"), std::string::npos);
+  }
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  (void)touch;  // unreferenced when DCHECK compiles out
+#if CHARISMA_DCHECK_IS_ON
+  EXPECT_THROW(DCHECK(touch(), "debug audit"), CheckFailure);
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_NO_THROW(DCHECK(touch(), "debug audit"));
+  EXPECT_EQ(evaluations, 0);  // compiled out: the condition is not evaluated
+#endif
+}
+
 }  // namespace
 }  // namespace charisma::util

@@ -1,0 +1,51 @@
+// charisma_lint — determinism guard for the CHARISMA tree.
+//
+// Scans <root>/{src,bench,tools} for the hazards that break the simulator's
+// determinism contract (see tools/lint_rules.hpp and docs/determinism.md).
+// Registered as a ctest test, so `ctest` fails the build the moment a
+// wall-clock read, raw rand(), float, or hash-order iteration lands in a
+// result-producing path.
+//
+// Usage:
+//   charisma_lint [root]          scan the tree (root defaults to ".")
+//   charisma_lint --list-rules    print the rule names and exit
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "tools/lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : charisma::lint::known_rules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: charisma_lint [root] | --list-rules\n");
+      return 0;
+    }
+    root = arg;
+  }
+
+  try {
+    const auto findings = charisma::lint::scan_tree(root);
+    for (const auto& f : findings) {
+      std::printf("%s\n", charisma::lint::format(f).c_str());
+    }
+    if (!findings.empty()) {
+      std::printf("charisma_lint: %zu finding(s) in '%s'\n", findings.size(),
+                  root.c_str());
+      return 1;
+    }
+    std::printf("charisma_lint: clean\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "charisma_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,452 @@
+#include "tools/lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace charisma::lint {
+
+namespace {
+
+constexpr std::string_view kWallClock = "charisma-wallclock";
+constexpr std::string_view kRawRandom = "charisma-raw-random";
+constexpr std::string_view kUnorderedIter = "charisma-unordered-iter";
+constexpr std::string_view kFloatTime = "charisma-float-time";
+constexpr std::string_view kUnknownSuppression = "charisma-unknown-suppression";
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Pre-pass product: `code` mirrors the input byte for byte but with every
+/// comment and the *contents* of every string/char literal blanked to
+/// spaces, so token rules cannot be fooled by text in either.  Comment text
+/// is collected per line for NOLINT handling.
+struct Stripped {
+  std::string code;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+  std::vector<std::size_t> line_start;  // offset of each line's first byte
+};
+
+[[nodiscard]] Stripped strip(std::string_view in) {
+  Stripped out;
+  out.code.assign(in.size(), ' ');
+  out.line_start.push_back(0);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  int line = 1;
+  std::string raw_terminator;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      out.line_start.push_back(i + 1);
+      out.code[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;  // swallow the second slash too
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(in[i - 1]))) {
+          // Raw string: scan the delimiter up to '('.
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < in.size() && in[j] != '(' && in[j] != '\n') {
+            delim += in[j++];
+          }
+          raw_terminator = ")" + delim + "\"";
+          out.code[i] = 'R';
+          state = State::kRawString;
+          i = j;  // at '(' (blanked)
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        out.comments[line] += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ++i;
+          state = State::kCode;
+        } else {
+          out.comments[line] += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] int line_of(const Stripped& s, std::size_t offset) {
+  const auto it = std::upper_bound(s.line_start.begin(), s.line_start.end(),
+                                   offset);
+  return static_cast<int>(it - s.line_start.begin());
+}
+
+/// Per-line suppression sets parsed from NOLINT / NOLINTNEXTLINE comments.
+struct Suppressions {
+  std::map<int, std::set<std::string, std::less<>>> rules;  // empty set = all
+  std::vector<Finding> unknown;  // stale charisma-* suppressions
+
+  [[nodiscard]] bool covers(int line, std::string_view rule) const {
+    const auto it = rules.find(line);
+    if (it == rules.end()) return false;
+    return it->second.empty() || it->second.count(rule) > 0;
+  }
+};
+
+[[nodiscard]] Suppressions parse_suppressions(std::string_view file,
+                                              const Stripped& s) {
+  Suppressions out;
+  for (const auto& [line, text] : s.comments) {
+    std::size_t pos = 0;
+    while ((pos = text.find("NOLINT", pos)) != std::string::npos) {
+      std::size_t after = pos + 6;
+      int target = line;
+      if (text.compare(after, 8, "NEXTLINE") == 0) {
+        after += 8;
+        target = line + 1;
+      }
+      auto& set = out.rules[target];  // bare NOLINT: empty set = all rules
+      if (after < text.size() && text[after] == '(') {
+        const std::size_t close = text.find(')', after);
+        std::stringstream list(
+            text.substr(after + 1, close == std::string::npos
+                                       ? std::string::npos
+                                       : close - after - 1));
+        std::string name;
+        while (std::getline(list, name, ',')) {
+          const auto b = name.find_first_not_of(" \t");
+          const auto e = name.find_last_not_of(" \t");
+          if (b == std::string::npos) continue;
+          name = name.substr(b, e - b + 1);
+          set.insert(name);
+          if (name.rfind("charisma-", 0) == 0 &&
+              std::find(known_rules().begin(), known_rules().end(), name) ==
+                  known_rules().end()) {
+            out.unknown.push_back(
+                {std::string(file), line, std::string(kUnknownSuppression),
+                 "suppression names unknown rule '" + name + "'"});
+          }
+        }
+      }
+      pos = after;
+    }
+  }
+  return out;
+}
+
+/// True if `code[pos]` starts the whole identifier token `token`.
+[[nodiscard]] bool token_at(std::string_view code, std::size_t pos,
+                            std::string_view token) {
+  if (pos > 0 && ident_char(code[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < code.size() && ident_char(code[end])) return false;
+  return true;
+}
+
+/// Finds whole-token occurrences; if `call_only`, requires a '(' after
+/// optional whitespace (so `time` the identifier is fine, `time(...)` the
+/// call is flagged).
+void find_tokens(const Stripped& s, std::string_view token, bool call_only,
+                 std::vector<std::size_t>& hits) {
+  const std::string_view code = s.code;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string_view::npos) {
+    if (token_at(code, pos, token)) {
+      std::size_t after = pos + token.size();
+      while (after < code.size() && (code[after] == ' ' || code[after] == '\t'))
+        ++after;
+      if (!call_only || (after < code.size() && code[after] == '(')) {
+        hits.push_back(pos);
+      }
+    }
+    pos += token.size();
+  }
+}
+
+/// Collects names of variables declared with an unordered container type:
+/// `std::unordered_map<...> name` (template args balanced across lines).
+[[nodiscard]] std::set<std::string, std::less<>> unordered_variables(
+    const Stripped& s) {
+  std::set<std::string, std::less<>> names;
+  const std::string_view code = s.code;
+  for (const std::string_view type : {"unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset"}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(type, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += type.size();
+      if (!token_at(code, start, type)) continue;
+      // Balance template arguments.
+      std::size_t j = pos;
+      while (j < code.size() && std::isspace(static_cast<unsigned char>(
+                                    code[j]))) {
+        ++j;
+      }
+      if (j >= code.size() || code[j] != '<') continue;
+      int depth = 0;
+      for (; j < code.size(); ++j) {
+        if (code[j] == '<') ++depth;
+        if (code[j] == '>' && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+      // Next identifier (skipping refs/pointers/whitespace) is the name —
+      // unless the declaration is a function return type or a parameter,
+      // which the following '(' / ',' / ')' shapes mostly distinguish; the
+      // rule cares about named locals/members, the common leak.
+      while (j < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[j])) ||
+              code[j] == '&' || code[j] == '*')) {
+        ++j;
+      }
+      std::string name;
+      while (j < code.size() && ident_char(code[j])) name += code[j++];
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+/// Flags range-for statements whose sequence expression ends in a variable
+/// declared as an unordered container in this file.
+void scan_unordered_iteration(std::string_view file, const Stripped& s,
+                              const std::set<std::string, std::less<>>& vars,
+                              std::vector<Finding>& out) {
+  if (vars.empty()) return;
+  const std::string_view code = s.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("for", pos)) != std::string_view::npos) {
+    const std::size_t kw = pos;
+    pos += 3;
+    if (!token_at(code, kw, "for")) continue;
+    std::size_t j = pos;
+    while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j])))
+      ++j;
+    if (j >= code.size() || code[j] != '(') continue;
+    // Balance the parens and find the top-level ':' of a range-for.
+    int depth = 0;
+    std::size_t colon = std::string_view::npos;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t k = j; k < code.size(); ++k) {
+      const char c = code[k];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0 && c == ')') {
+          close = k;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string_view::npos &&
+          (k == 0 || code[k - 1] != ':') &&
+          (k + 1 >= code.size() || code[k + 1] != ':')) {
+        colon = k;
+      }
+    }
+    if (colon == std::string_view::npos || close == std::string_view::npos)
+      continue;
+    // Last identifier of the sequence expression; a trailing call like
+    // `b.sessions()` hides the container behind a function and is exempt.
+    std::size_t e = close;
+    while (e > colon && !ident_char(code[e - 1])) {
+      if (code[e - 1] == ')') {
+        e = colon;  // expression ends in a call — bail out
+        break;
+      }
+      --e;
+    }
+    std::size_t b = e;
+    while (b > colon && ident_char(code[b - 1])) --b;
+    if (b == e) continue;
+    const std::string_view name = code.substr(b, e - b);
+    if (vars.count(name) == 0) continue;
+    out.push_back({std::string(file), line_of(s, kw),
+                   std::string(kUnorderedIter),
+                   "iteration over unordered container '" +
+                       std::string(name) +
+                       "' in an ordering-sensitive path: hash order leaks "
+                       "into results; use std::map/std::set or sort first"});
+  }
+}
+
+void push_token_findings(std::string_view file, const Stripped& s,
+                         std::string_view token, bool call_only,
+                         std::string_view rule, const std::string& message,
+                         std::vector<Finding>& out) {
+  std::vector<std::size_t> hits;
+  find_tokens(s, token, call_only, hits);
+  for (const std::size_t h : hits) {
+    out.push_back({std::string(file), line_of(s, h), std::string(rule),
+                   message});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> rules = {
+      std::string(kWallClock),     std::string(kRawRandom),
+      std::string(kUnorderedIter), std::string(kFloatTime),
+      std::string(kUnknownSuppression),
+  };
+  return rules;
+}
+
+FileClass classify_path(std::string_view path) {
+  FileClass cls;
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  cls.rng_exempt = p.find("util/rng") != std::string::npos;
+  cls.ordering_sensitive = p.find("/analysis/") != std::string::npos ||
+                           p.find("report") != std::string::npos ||
+                           p.find("export") != std::string::npos ||
+                           p.find("postprocess") != std::string::npos;
+  return cls;
+}
+
+std::vector<Finding> scan_source(std::string_view file_label,
+                                 std::string_view content,
+                                 const FileClass& cls) {
+  const Stripped s = strip(content);
+  const Suppressions suppressed = parse_suppressions(file_label, s);
+
+  std::vector<Finding> raw;
+  // Wall-clock reads: any of these makes a run depend on the host's clock.
+  for (const std::string_view t :
+       {"system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime"}) {
+    push_token_findings(
+        file_label, s, t, /*call_only=*/false, kWallClock,
+        "wall-clock source '" + std::string(t) +
+            "': simulated time must come from sim::Engine::now()",
+        raw);
+  }
+  push_token_findings(file_label, s, "time", /*call_only=*/true, kWallClock,
+                      "wall-clock call 'time()': simulated time must come "
+                      "from sim::Engine::now()",
+                      raw);
+
+  // Raw entropy: only util/rng may touch it; everything else forks an Rng.
+  if (!cls.rng_exempt) {
+    for (const std::string_view t : {"rand", "srand", "rand_r", "drand48"}) {
+      push_token_findings(file_label, s, t, /*call_only=*/true, kRawRandom,
+                          "raw RNG '" + std::string(t) +
+                              "()': draw from util::Rng so the (seed, "
+                              "config) pair determines the trace",
+                          raw);
+    }
+    push_token_findings(file_label, s, "random_device", /*call_only=*/false,
+                        kRawRandom,
+                        "std::random_device is a nondeterministic seed "
+                        "source; seed util::Rng explicitly",
+                        raw);
+  }
+
+  // float: simulated time (int64 microseconds) and byte counts exceed a
+  // 24-bit mantissa; double is allowed, float never is.
+  push_token_findings(file_label, s, "float", /*call_only=*/false, kFloatTime,
+                      "'float' cannot represent simulated time or byte "
+                      "counts exactly; use integer MicroSec or double",
+                      raw);
+
+  if (cls.ordering_sensitive) {
+    scan_unordered_iteration(file_label, s, unordered_variables(s), raw);
+  }
+
+  std::vector<Finding> out;
+  for (auto& f : raw) {
+    if (!suppressed.covers(f.line, f.rule)) out.push_back(std::move(f));
+  }
+  for (const auto& f : suppressed.unknown) out.push_back(f);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> scan_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  bool any_dir = false;
+  for (const char* sub : {"src", "bench", "tools"}) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::is_directory(dir)) continue;
+    any_dir = true;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+    }
+  }
+  if (!any_dir) {
+    throw std::runtime_error("no src/, bench/, or tools/ under '" + root +
+                             "' — pass the repository root");
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> out;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const std::string label =
+        fs::relative(path, root).generic_string();
+    auto findings = scan_source(label, content, classify_path(label));
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace charisma::lint

@@ -1,0 +1,70 @@
+// CHARISMA-specific lint rules.
+//
+// The simulator's determinism contract (sim/engine.hpp) cannot be enforced
+// by the type system: any wall-clock read, raw libc RNG, or iteration over a
+// hash container in a result-producing path silently breaks the "same
+// (seed, config) => same trace" guarantee that every bench depends on.  This
+// engine scans source token-wise (comments and string literals blanked) for
+// those hazards.  It is deliberately a heuristic, not a parser: the rules
+// are tuned so the clean tree has zero findings and each hazard class is
+// caught at its call site, with a NOLINT comment naming the charisma rule
+// as the audited escape hatch.
+//
+// Rules:
+//   charisma-wallclock      wall-clock reads (system_clock, time(), ...)
+//   charisma-raw-random     rand()/srand()/std::random_device outside
+//                           util/rng (the only sanctioned entropy source)
+//   charisma-unordered-iter range-for over an unordered_map/unordered_set in
+//                           an ordering-sensitive (analysis/report/export)
+//                           file: hash order leaks into results
+//   charisma-float-time     `float` anywhere in the simulator: simulated
+//                           time and byte counts overflow a 24-bit mantissa
+//   charisma-unknown-suppression  a suppression comment naming no known
+//                           charisma rule (a stale escape hatch hides
+//                           nothing but doubt)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace charisma::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Path-derived rule context.
+struct FileClass {
+  /// util/rng is the one place allowed to talk about raw entropy sources.
+  bool rng_exempt = false;
+  /// Analysis/report/export/postprocess code: iteration order becomes
+  /// output order, so hash-container iteration is nondeterminism.
+  bool ordering_sensitive = false;
+};
+
+/// Derives the rule context from a (repo-relative or absolute) path.
+[[nodiscard]] FileClass classify_path(std::string_view path);
+
+/// Runs every rule over one translation unit's text.
+[[nodiscard]] std::vector<Finding> scan_source(std::string_view file_label,
+                                               std::string_view content,
+                                               const FileClass& cls);
+
+/// Scans root/{src,bench,tools} recursively (*.cpp, *.hpp), deterministic
+/// file order.  Throws std::runtime_error if none of those directories
+/// exists (wrong root is a usage error, not a clean tree).
+[[nodiscard]] std::vector<Finding> scan_tree(const std::string& root);
+
+/// Names of all rules, for --list-rules and suppression validation.
+[[nodiscard]] const std::vector<std::string>& known_rules();
+
+/// "path:line: [rule] message" — one line, stable across runs.
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace charisma::lint
