@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include "util/check.hpp"
+
 namespace charisma::bench {
 
 Context& Context::instance() {
@@ -7,19 +9,36 @@ Context& Context::instance() {
   return ctx;
 }
 
-void Context::configure(double scale, std::uint64_t seed) {
+void Context::configure(double scale, std::uint64_t seed,
+                        std::size_t threads) {
+  // Regression guard: configure() used to only record the parameters, so a
+  // second call after the study was built was silently ignored and the
+  // caller kept measuring the old (scale, seed).  Now every call tears the
+  // built state down so the next accessor rebuilds under the new
+  // configuration.
   scale_ = scale;
   seed_ = seed;
+  threads_ = threads;
+  configured_ = true;
+  built_ = false;
+  sweeps_.reset();  // borrows read_only_ and pool_; must go first
+  read_only_.reset();
+  store_.reset();
+  study_.reset();
+  pool_.reset();
 }
 
 void Context::ensure() {
+  CHECK(configured_, "bench::Context used before configure()");
   if (built_) return;
   std::printf("[charisma] running study at scale %.3f (seed %llu)...\n",
               scale_, static_cast<unsigned long long>(seed_));
   std::fflush(stdout);
   study_ = core::run_study_at_scale(scale_, seed_);
-  store_.emplace(study_->sorted);
+  store_.emplace(analysis::SessionStore::build_parallel(study_->sorted,
+                                                        pool()));
   read_only_ = store_->read_only_sessions();
+  sweeps_.emplace(study_->sorted, *read_only_, pool());
   std::printf("[charisma] %zu trace events, %zu file sessions\n\n",
               study_->sorted.records.size(), store_->sessions().size());
   built_ = true;
@@ -38,6 +57,17 @@ const analysis::SessionStore& Context::store() {
 const std::set<cache::SessionKey>& Context::read_only() {
   ensure();
   return *read_only_;
+}
+
+util::ThreadPool& Context::pool() {
+  CHECK(configured_, "bench::Context used before configure()");
+  if (!pool_) pool_.emplace(threads_);
+  return *pool_;
+}
+
+cache::SweepRunner& Context::sweeps() {
+  ensure();
+  return *sweeps_;
 }
 
 Comparison::Comparison(std::string title)
@@ -71,10 +101,11 @@ void Comparison::print() const {
 
 int bench_main(int argc, char** argv, const char* experiment,
                void (*reproduce)()) {
-  util::Flags flags(argc, argv, {"scale", "seed"});
+  util::Flags flags(argc, argv, {"scale", "seed", "threads"});
   Context::instance().configure(
       flags.get_double("scale", 0.2),
-      static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+      static_cast<std::uint64_t>(flags.get_int("seed", 42)),
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
   std::printf("==========================================================\n");
   std::printf("CHARISMA reproduction: %s\n", experiment);
   std::printf("==========================================================\n");

@@ -6,7 +6,10 @@
 //   3. runs google-benchmark timings of the underlying kernel.
 //
 // Absolute counts scale with --scale; all percentages/shapes are
-// scale-invariant, which is what the comparisons check.
+// scale-invariant, which is what the comparisons check.  --threads sizes
+// the shared worker pool used for session building and cache-parameter
+// sweeps (0 = hardware concurrency); every reported number is identical for
+// every thread count.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -20,6 +23,7 @@
 #include "core/study.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace charisma::bench {
 
@@ -28,12 +32,19 @@ class Context {
  public:
   static Context& instance();
 
-  /// Must be called once from main() before use.
-  void configure(double scale, std::uint64_t seed);
+  /// Must be called from main() before use.  May be called again: each call
+  /// discards any study built under the previous configuration, so a
+  /// configure() is never silently ignored.
+  void configure(double scale, std::uint64_t seed, std::size_t threads = 0);
 
   [[nodiscard]] const core::StudyOutput& study();
   [[nodiscard]] const analysis::SessionStore& store();
   [[nodiscard]] const std::set<cache::SessionKey>& read_only();
+  /// Worker pool sized by --threads; shared by the sweeps and the session
+  /// build.
+  [[nodiscard]] util::ThreadPool& pool();
+  /// Sweep runner over the configured study's trace.
+  [[nodiscard]] cache::SweepRunner& sweeps();
   [[nodiscard]] double scale() const noexcept { return scale_; }
 
  private:
@@ -41,10 +52,14 @@ class Context {
 
   double scale_ = 0.2;
   std::uint64_t seed_ = 42;
+  std::size_t threads_ = 0;
+  bool configured_ = false;
   bool built_ = false;
   std::optional<core::StudyOutput> study_;
   std::optional<analysis::SessionStore> store_;
   std::optional<std::set<cache::SessionKey>> read_only_;
+  std::optional<util::ThreadPool> pool_;
+  std::optional<cache::SweepRunner> sweeps_;
 };
 
 /// A two-column paper-vs-measured comparison table builder.
@@ -64,8 +79,8 @@ class Comparison {
   util::Table table_;
 };
 
-/// Standard main body: parses --scale/--seed, calls `reproduce`, then runs
-/// the registered benchmarks with the remaining argv.
+/// Standard main body: parses --scale/--seed/--threads, calls `reproduce`,
+/// then runs the registered benchmarks with the remaining argv.
 int bench_main(int argc, char** argv, const char* experiment,
                void (*reproduce)());
 

@@ -7,14 +7,15 @@ namespace {
 
 void reproduce() {
   auto& ctx = Context::instance();
-  cache::ComputeCacheResult results[3];
+  std::vector<cache::ComputeCacheConfig> configs(3);
   const std::size_t buffer_counts[3] = {1, 10, 50};
   for (int i = 0; i < 3; ++i) {
-    cache::ComputeCacheConfig cfg;
-    cfg.buffers_per_node = buffer_counts[i];
-    results[i] = cache::simulate_compute_cache(ctx.study().sorted,
-                                               ctx.read_only(), cfg);
+    configs[static_cast<std::size_t>(i)].buffers_per_node = buffer_counts[i];
   }
+  // One parallel sweep over all three buffer counts; results come back in
+  // config order regardless of --threads.
+  const std::vector<cache::ComputeCacheResult> results =
+      ctx.sweeps().run_compute(configs);
 
   util::Table curve({"hit rate <=", "1 buffer", "10 buffers", "50 buffers"});
   for (double x : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {

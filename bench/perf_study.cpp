@@ -1,0 +1,187 @@
+// End-to-end perf harness: one timed pass over the pipeline's three hot
+// stages (study -> session build -> cache-parameter sweep), emitted as a
+// self-contained JSON object for tools/record_bench.sh to collect into
+// BENCH_study.json.
+//
+// This is deliberately NOT a google-benchmark binary: the recorded numbers
+// are whole-stage wall times of a single representative pass, which is what
+// the committed baseline compares across commits.
+//
+// Flags:
+//   --scale=0.2            workload scale (same meaning as the fig* benches)
+//   --seed=42              workload seed
+//   --threads=0            sweep/session worker threads (0 = hardware)
+//   --queue=bucketed       event queue: bucketed | reference
+//   --out=<path>           also write the JSON there (stdout always)
+//   --check-digest=0x...   exit non-zero unless the trace digest matches
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/session.hpp"
+#include "cache/simulators.hpp"
+#include "core/study.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charisma {
+namespace {
+
+// The harness measures the host machine, so this is the one audited place
+// in bench/ that reads the wall clock; simulation code never does.
+using WallClock = std::chrono::steady_clock;  // NOLINT(charisma-wallclock)
+
+[[nodiscard]] double ms_since(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start)
+      .count();
+}
+
+[[nodiscard]] long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// The representative sweep: every point the fig8 / fig9 / sec48 benches
+/// replay, as one workload for the SweepRunner.
+[[nodiscard]] std::vector<cache::ComputeCacheConfig> compute_sweep() {
+  std::vector<cache::ComputeCacheConfig> configs(3);
+  configs[0].buffers_per_node = 1;
+  configs[1].buffers_per_node = 10;
+  configs[2].buffers_per_node = 50;
+  return configs;
+}
+
+[[nodiscard]] std::vector<cache::IoNodeSimConfig> io_sweep() {
+  std::vector<cache::IoNodeSimConfig> configs;
+  for (const std::size_t buffers :
+       {100u, 250u, 500u, 1000u, 2000u, 4000u, 8000u, 16000u, 25000u}) {
+    for (const cache::Policy policy :
+         {cache::Policy::kLru, cache::Policy::kFifo}) {
+      cache::IoNodeSimConfig cfg;
+      cfg.total_buffers = buffers;
+      cfg.policy = policy;
+      configs.push_back(cfg);
+    }
+  }
+  for (const int io : {1, 2, 5, 10, 20}) {
+    cache::IoNodeSimConfig cfg;
+    cfg.total_buffers = 4000;
+    cfg.io_nodes = io;
+    configs.push_back(cfg);
+  }
+  for (const std::size_t front : {0u, 1u}) {
+    cache::IoNodeSimConfig cfg;  // the §4.8 combined-cache pair
+    cfg.total_buffers = 500;
+    cfg.compute_buffers_per_node = front;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags(
+      argc, argv, {"scale", "seed", "threads", "queue", "out", "check-digest"});
+  const double scale = flags.get_double("scale", 0.2);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::string queue_name = flags.get("queue", "bucketed");
+  CHECK(queue_name == "bucketed" || queue_name == "reference",
+        "--queue must be 'bucketed' or 'reference', got '", queue_name, "'");
+
+  core::StudyConfig config;
+  config.workload.scale = scale;
+  config.workload.seed = seed;
+  config.queue = queue_name == "bucketed" ? sim::QueueKind::kBucketed
+                                          : sim::QueueKind::kReferenceHeap;
+
+  const auto total_start = WallClock::now();
+  auto stage_start = WallClock::now();
+  const core::StudyOutput study = core::run_study(config);
+  const double study_ms = ms_since(stage_start);
+
+  util::ThreadPool pool(threads);
+  stage_start = WallClock::now();
+  const analysis::SessionStore store =
+      analysis::SessionStore::build_parallel(study.sorted, pool);
+  const std::set<cache::SessionKey> read_only = store.read_only_sessions();
+  const double sessions_ms = ms_since(stage_start);
+
+  stage_start = WallClock::now();
+  const cache::SweepRunner sweeps(study.sorted, read_only, pool);
+  const auto compute_results = sweeps.run_compute(compute_sweep());
+  const auto io_results = sweeps.run_io(io_sweep());
+  const double sweep_ms = ms_since(stage_start);
+  const double total_ms = ms_since(total_start);
+
+  const std::uint64_t digest = study.raw.digest();
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof digest_hex, "0x%016llx",
+                static_cast<unsigned long long>(digest));
+
+  const double events_per_sec =
+      study_ms > 0.0
+          ? static_cast<double>(study.events_dispatched) / (study_ms / 1000.0)
+          : 0.0;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"threads\": " + std::to_string(pool.thread_count()) + ",\n";
+  json += "  \"queue\": \"" + queue_name + "\",\n";
+  json += "  \"stages_ms\": {\n";
+  json += "    \"study\": " + std::to_string(study_ms) + ",\n";
+  json += "    \"sessions\": " + std::to_string(sessions_ms) + ",\n";
+  json += "    \"sweep\": " + std::to_string(sweep_ms) + ",\n";
+  json += "    \"total\": " + std::to_string(total_ms) + "\n";
+  json += "  },\n";
+  json += "  \"events_dispatched\": " +
+          std::to_string(study.events_dispatched) + ",\n";
+  json += "  \"events_per_sec\": " + std::to_string(events_per_sec) + ",\n";
+  json += "  \"trace_records\": " + std::to_string(study.raw.record_count()) +
+          ",\n";
+  json += "  \"sorted_records\": " +
+          std::to_string(study.sorted.records.size()) + ",\n";
+  json += "  \"replay_ops\": " + std::to_string(sweeps.replay_ops()) + ",\n";
+  json += "  \"compute_sweep_points\": " +
+          std::to_string(compute_results.size()) + ",\n";
+  json += "  \"io_sweep_points\": " + std::to_string(io_results.size()) +
+          ",\n";
+  json += "  \"trace_digest\": \"" + std::string(digest_hex) + "\",\n";
+  json += "  \"peak_rss_kb\": " + std::to_string(peak_rss_kb()) + "\n";
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (flags.has("out")) {
+    const std::string out = flags.get("out", "");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    CHECK(f != nullptr, "cannot open --out file '", out, "'");
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (flags.has("check-digest")) {
+    const std::string expected = flags.get("check-digest", "");
+    if (expected != digest_hex) {
+      std::fprintf(stderr,
+                   "digest mismatch: expected %s, computed %s "
+                   "(scale=%g seed=%llu queue=%s)\n",
+                   expected.c_str(), digest_hex, scale,
+                   static_cast<unsigned long long>(seed), queue_name.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "digest check passed: %s\n", digest_hex);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace charisma
+
+int main(int argc, char** argv) { return charisma::run(argc, argv); }

@@ -8,14 +8,18 @@ namespace {
 
 void reproduce() {
   auto& ctx = Context::instance();
-  cache::IoNodeSimConfig cfg;
-  cfg.io_nodes = 10;
-  cfg.total_buffers = 500;  // 50 buffers per I/O node
-  const auto io_only =
-      cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg);
-  cfg.compute_buffers_per_node = 1;
-  const auto combined =
-      cache::simulate_io_cache(ctx.study().sorted, ctx.read_only(), cfg);
+  // Both configurations go through one sweep; results come back in config
+  // order no matter how many --threads the runner uses.
+  std::vector<cache::IoNodeSimConfig> configs(2);
+  for (auto& cfg : configs) {
+    cfg.io_nodes = 10;
+    cfg.total_buffers = 500;  // 50 buffers per I/O node
+  }
+  configs[1].compute_buffers_per_node = 1;
+  const std::vector<cache::IoNodeSimResult> results =
+      ctx.sweeps().run_io(configs);
+  const cache::IoNodeSimResult& io_only = results[0];
+  const cache::IoNodeSimResult& combined = results[1];
 
   util::Table t({"configuration", "I/O-node hit rate",
                  "requests absorbed up front"});

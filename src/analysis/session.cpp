@@ -231,8 +231,11 @@ SessionStore SessionStore::build_parallel(const trace::SortedTrace& trace,
 
   // Pass 1 (serial): job events, plus a per-shard index of the records each
   // worker will consume.  Sharding by (job, file) keeps every session's
-  // stream whole and ordered within one shard.
-  const std::size_t shards = std::max<std::size_t>(pool.thread_count(), 1);
+  // stream whole and ordered within one shard.  The shard count is a fixed
+  // constant — NOT the pool width — so the merged session order (and thus
+  // any output derived from it) is identical no matter how many threads
+  // execute the shards.
+  constexpr std::size_t shards = 64;
   std::vector<std::vector<std::uint32_t>> shard_records(shards);
   for (std::uint32_t i = 0; i < trace.records.size(); ++i) {
     const Record& r = trace.records[i];

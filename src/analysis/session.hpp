@@ -99,10 +99,11 @@ class SessionStore {
   explicit SessionStore(const trace::SortedTrace& trace,
                         bool track_coverage = true);
 
-  /// Parallel build: records are partitioned by (job, file) across the
-  /// pool's workers (each session's stream is order-dependent, but distinct
-  /// sessions are independent).  Produces the same sessions as the serial
-  /// constructor, in shard order.
+  /// Parallel build: records are partitioned by (job, file) into a fixed
+  /// number of shards executed on the pool's workers (each session's stream
+  /// is order-dependent, but distinct sessions are independent).  Produces
+  /// the same sessions as the serial constructor, in shard order — an order
+  /// that does not depend on the pool's thread count.
   static SessionStore build_parallel(const trace::SortedTrace& trace,
                                      util::ThreadPool& pool,
                                      bool track_coverage = true);

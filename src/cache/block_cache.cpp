@@ -1,65 +1,140 @@
 #include "cache/block_cache.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/check.hpp"
 
 namespace charisma::cache {
 
 BlockCache::BlockCache(std::size_t capacity, Policy policy)
-    : capacity_(capacity), policy_(policy) {}
+    : capacity_(capacity), policy_(policy) {
+  CHECK(capacity_ < kNil, "block cache capacity ", capacity_,
+        " exceeds the slab index range");
+  if (capacity_ == 0) return;
+  // Twice the capacity rounded up to a power of two: the load factor never
+  // passes 1/2 (probes stay short) and the table never rehashes, so a miss
+  // costs no allocation once the slab has grown to capacity.
+  const std::size_t buckets =
+      std::bit_ceil(std::max<std::size_t>(16, capacity_ * 2));
+  slots_.resize(buckets);
+  mask_ = buckets - 1;
+}
 
 bool BlockCache::access(const BlockKey& key, NodeId node) {
   ++accesses_;
   if (capacity_ == 0) return false;
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    if (policy_ != Policy::kFifo) {
-      // LRU and IP-aware promote on hit; FIFO keeps insertion order.
-      order_.splice(order_.begin(), order_, it->second.order_it);
+  {
+    const std::size_t slot = probe(key);
+    if (slots_[slot].node != kEmptySlot) {
+      ++hits_;
+      const std::uint32_t idx = slots_[slot].node;
+      if (policy_ != Policy::kFifo && idx != head_) {
+        // LRU and IP-aware promote on hit; FIFO keeps insertion order.
+        unlink(idx);
+        push_front(idx);
+      }
+      if (policy_ == Policy::kInterprocessAware) accessors_[idx].insert(node);
+      return true;
     }
-    if (policy_ == Policy::kInterprocessAware) {
-      it->second.accessors.insert(node);
-    }
-    return true;
   }
-  if (entries_.size() >= capacity_) evict_one();
-  order_.push_front(key);
-  Entry e;
-  e.order_it = order_.begin();
-  if (policy_ == Policy::kInterprocessAware) e.accessors.insert(node);
-  const bool inserted = entries_.emplace(key, std::move(e)).second;
-  CHECK(inserted, "double-insert of block (file=", key.file,
-        ", block=", key.block, ") into ", to_string(policy_), " cache");
-  CHECK(entries_.size() <= capacity_, "cache occupancy ", entries_.size(),
-        " exceeds capacity ", capacity_);
-  DCHECK(order_.size() == entries_.size(),
-         "recency list out of sync with entry map");
+  std::uint32_t idx;
+  if (size_ >= capacity_) {
+    idx = evict_one();
+    nodes_[idx].key = key;
+    if (policy_ == Policy::kInterprocessAware) accessors_[idx].clear();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{key, kNil, kNil});
+    if (policy_ == Policy::kInterprocessAware) accessors_.emplace_back();
+  }
+  if (policy_ == Policy::kInterprocessAware) accessors_[idx].insert(node);
+  push_front(idx);
+  ++size_;
+  // Eviction's backward-shift erase may rearrange the probe chain, so the
+  // insertion slot is re-probed after it rather than reused from the lookup.
+  const std::size_t slot = probe(key);
+  DCHECK(slots_[slot].node == kEmptySlot,
+         "double-insert of block into the cache index");
+  slots_[slot] = Slot{key, idx};
+  CHECK(size_ <= capacity_, "cache occupancy ", size_, " exceeds capacity ",
+        capacity_);
+  DCHECK(size_ <= nodes_.size(), "recency slab out of sync with entry count");
   return false;
 }
 
-void BlockCache::evict_one() {
-  if (order_.empty()) return;
-  if (policy_ != Policy::kInterprocessAware) {
-    entries_.erase(order_.back());
-    order_.pop_back();
-    return;
+void BlockCache::unlink(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
   }
-  // IP-aware: among the coldest few blocks, evict the one consumed by the
-  // most distinct nodes — its interprocess reuse is behind it.
-  auto victim = std::prev(order_.end());
-  std::size_t victim_nodes = entries_.at(*victim).accessors.size();
-  auto it = victim;
-  for (std::size_t scanned = 1;
-       scanned < kEvictionScan && it != order_.begin(); ++scanned) {
-    --it;
-    const std::size_t n = entries_.at(*it).accessors.size();
-    if (n > victim_nodes) {
-      victim = it;
-      victim_nodes = n;
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = kNil;
+  n.next = kNil;
+}
+
+void BlockCache::push_front(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+std::uint32_t BlockCache::evict_one() {
+  DCHECK(tail_ != kNil, "evicting from an empty cache");
+  std::uint32_t victim = tail_;
+  if (policy_ == Policy::kInterprocessAware) {
+    // IP-aware: among the coldest few blocks, evict the one consumed by the
+    // most distinct nodes — its interprocess reuse is behind it.
+    std::size_t victim_nodes = accessors_[victim].size();
+    std::uint32_t it = victim;
+    for (std::size_t scanned = 1;
+         scanned < kEvictionScan && nodes_[it].prev != kNil; ++scanned) {
+      it = nodes_[it].prev;
+      const std::size_t n = accessors_[it].size();
+      if (n > victim_nodes) {
+        victim = it;
+        victim_nodes = n;
+      }
     }
   }
-  entries_.erase(*victim);
-  order_.erase(victim);
+  erase_slot_for(nodes_[victim].key);
+  unlink(victim);
+  --size_;
+  return victim;
+}
+
+void BlockCache::erase_slot_for(const BlockKey& key) {
+  std::size_t gap = probe(key);
+  CHECK(slots_[gap].node != kEmptySlot, "evicted block (file=", key.file,
+        ", block=", key.block, ") missing from the cache index");
+  // Backward-shift deletion: walk the chain after the gap and pull back any
+  // entry whose home slot lies cyclically at or before the gap, so lookups
+  // never need tombstones.
+  std::size_t scan = gap;
+  for (;;) {
+    slots_[gap].node = kEmptySlot;
+    for (;;) {
+      scan = (scan + 1) & mask_;
+      if (slots_[scan].node == kEmptySlot) return;
+      const std::size_t home = BlockKeyHash{}(slots_[scan].key) & mask_;
+      const bool movable = (scan > gap) ? (home <= gap || home > scan)
+                                        : (home <= gap && home > scan);
+      if (movable) {
+        slots_[gap] = slots_[scan];
+        gap = scan;
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace charisma::cache

@@ -7,12 +7,18 @@
 // interprocess locality") — it preferentially evicts blocks that many
 // distinct nodes have already consumed, since an interleaved or broadcast
 // block is dead once every party has read it.
+//
+// The cache is allocation-free in steady state: resident blocks live in a
+// slab of intrusively linked nodes (slots reused on eviction), indexed by an
+// open-addressing table sized once at construction to keep the load factor
+// at or below 1/2.  The sweep runner replays the whole trace through one of
+// these per configuration point, so the per-access cost — not asymptotics —
+// is what the fig8/fig9/§4.8 benches actually pay.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "cfs/types.hpp"
 
@@ -60,9 +66,9 @@ class BlockCache {
   bool access(const BlockKey& key, NodeId node);
 
   [[nodiscard]] bool contains(const BlockKey& key) const {
-    return entries_.count(key) > 0;
+    return capacity_ != 0 && slots_[probe(key)].node != kEmptySlot;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
@@ -73,16 +79,47 @@ class BlockCache {
   }
 
  private:
-  struct Entry {
-    std::list<BlockKey>::iterator order_it;
-    std::unordered_set<NodeId> accessors;  // only kept for IP-aware
+  static constexpr std::uint32_t kNil = 0xffffffffu;        // list terminator
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;  // vacant slot
+
+  // Slab node on the intrusive recency list: front (head_) = most recent
+  // (LRU) / newest (FIFO); prev points toward the front.
+  struct Node {
+    BlockKey key;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
   };
-  void evict_one();
+  // Open-addressing slot mapping a resident key to its slab node.
+  struct Slot {
+    BlockKey key;
+    std::uint32_t node = kEmptySlot;
+  };
+
+  /// Linear-probes for `key`: returns the slot holding it, or the first
+  /// empty slot of its probe chain when absent (the insertion point).
+  /// Terminates because the table always has vacant slots (load <= 1/2).
+  [[nodiscard]] std::size_t probe(const BlockKey& key) const {
+    std::size_t i = BlockKeyHash{}(key) & mask_;
+    while (slots_[i].node != kEmptySlot && !(slots_[i].key == key)) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+  void unlink(std::uint32_t idx);
+  void push_front(std::uint32_t idx);
+  /// Removes one block per policy; returns its slab index for reuse.
+  std::uint32_t evict_one();
+  void erase_slot_for(const BlockKey& key);
 
   std::size_t capacity_;
   Policy policy_;
-  std::list<BlockKey> order_;  // front = most recent (LRU) / newest (FIFO)
-  std::unordered_map<BlockKey, Entry, BlockKeyHash> entries_;
+  std::size_t mask_ = 0;  // slots_.size() - 1; slots_ is a power of two
+  std::vector<Slot> slots_;
+  std::vector<Node> nodes_;
+  std::vector<std::unordered_set<NodeId>> accessors_;  // IP-aware only
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t size_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t accesses_ = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -11,6 +12,31 @@ namespace charisma::cache {
 using trace::EventKind;
 using trace::Record;
 
+namespace detail {
+
+std::vector<ReplayOp> prepare_replay(const trace::SortedTrace& trace,
+                                     const std::set<SessionKey>& read_only) {
+  std::vector<ReplayOp> ops;
+  ops.reserve(trace.records.size());
+  // The read-only set is consulted per session, not per record: requests
+  // arrive in bursts for the same (job, file), so one cached lookup covers
+  // the common run.
+  SessionKey last_key{cfs::kNoJob, cfs::kNoFile};
+  bool last_read_only = false;
+  for (const Record& r : trace.records) {
+    const bool is_read = r.kind == EventKind::kRead;
+    if ((!is_read && r.kind != EventKind::kWrite) || r.bytes <= 0) continue;
+    const SessionKey key{r.job, r.file};
+    if (key != last_key) {
+      last_key = key;
+      last_read_only = read_only.find(key) != read_only.end();
+    }
+    ops.push_back({r.file, r.job, r.node, r.offset, r.bytes, is_read,
+                   last_read_only});
+  }
+  return ops;
+}
+
 namespace {
 
 /// First and last file block a request touches.
@@ -18,45 +44,71 @@ struct BlockSpan {
   std::int64_t first;
   std::int64_t last;
 };
-BlockSpan span_of(const Record& r, std::int64_t bs) {
-  return {r.offset / bs, (r.offset + std::max<std::int64_t>(r.bytes, 1) - 1) / bs};
+BlockSpan span_of(const ReplayOp& op, std::int64_t bs) {
+  return {op.offset / bs,
+          (op.offset + std::max<std::int64_t>(op.bytes, 1) - 1) / bs};
 }
 
-}  // namespace
+/// (job, node) -> BlockCache with a memo of the last lookup: replay streams
+/// are long runs of one node's requests, so most lookups hit the memo.
+class PerNodeCaches {
+ public:
+  PerNodeCaches(std::size_t buffers, Policy policy)
+      : buffers_(buffers), policy_(policy) {}
 
-ComputeCacheResult simulate_compute_cache(const trace::SortedTrace& trace,
-                                          const std::set<SessionKey>& read_only,
-                                          const ComputeCacheConfig& config) {
+  BlockCache& at(JobId job, NodeId node) {
+    if (last_ != nullptr && job == last_job_ && node == last_node_) {
+      return *last_;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32) |
+        static_cast<std::uint32_t>(node);
+    const auto [it, inserted] = caches_.try_emplace(key, buffers_, policy_);
+    last_job_ = job;
+    last_node_ = node;
+    last_ = &it->second;
+    return *last_;
+  }
+
+ private:
+  std::size_t buffers_;
+  Policy policy_;
+  // Keyed by packed (job, node); never iterated, so hash order is safe.
+  std::unordered_map<std::uint64_t, BlockCache> caches_;
+  JobId last_job_ = cfs::kNoJob;
+  NodeId last_node_ = -1;
+  BlockCache* last_ = nullptr;
+};
+
+ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
+                                        const ComputeCacheConfig& config) {
   util::check(config.block_size > 0, "bad block size");
   ComputeCacheResult out;
   // One cache per (job, node): node reuse across jobs must not leak blocks.
-  std::map<std::pair<JobId, NodeId>, BlockCache> caches;
+  PerNodeCaches caches(config.buffers_per_node, Policy::kLru);
   struct JobCount {
     std::uint64_t reads = 0;
     std::uint64_t hits = 0;
   };
   std::map<JobId, JobCount> per_job;
 
-  for (const Record& r : trace.records) {
-    if (r.kind != EventKind::kRead || r.bytes <= 0) continue;
-    if (read_only.find({r.job, r.file}) == read_only.end()) continue;
-    auto [it, inserted] = caches.try_emplace(
-        std::make_pair(r.job, r.node), config.buffers_per_node, Policy::kLru);
-    BlockCache& cache = it->second;
-    const auto [first, last] = span_of(r, config.block_size);
+  for (const ReplayOp& op : ops) {
+    if (!op.is_read || !op.read_only_session) continue;
+    BlockCache& cache = caches.at(op.job, op.node);
+    const auto [first, last] = span_of(op, config.block_size);
     // "Fully satisfied from the local buffer": every touched block present
     // before the request runs.
     bool full_hit = true;
     for (std::int64_t b = first; b <= last; ++b) {
-      if (!cache.contains({r.file, b})) {
+      if (!cache.contains({op.file, b})) {
         full_hit = false;
         break;
       }
     }
     for (std::int64_t b = first; b <= last; ++b) {
-      (void)cache.access({r.file, b}, r.node);
+      (void)cache.access({op.file, b}, op.node);
     }
-    auto& jc = per_job[r.job];
+    auto& jc = per_job[op.job];
     ++jc.reads;
     ++out.reads;
     if (full_hit) {
@@ -82,9 +134,8 @@ ComputeCacheResult simulate_compute_cache(const trace::SortedTrace& trace,
   return out;
 }
 
-IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
-                                  const std::set<SessionKey>& read_only,
-                                  const IoNodeSimConfig& config) {
+IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
+                                const IoNodeSimConfig& config) {
   util::check(config.io_nodes >= 1, "need at least one I/O node");
   util::check(config.block_size > 0, "bad block size");
   IoNodeSimResult out;
@@ -96,28 +147,23 @@ IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
   for (int i = 0; i < config.io_nodes; ++i) {
     io_caches.emplace_back(per_node, config.policy);
   }
-  std::map<std::pair<JobId, NodeId>, BlockCache> compute;
+  PerNodeCaches compute(config.compute_buffers_per_node, Policy::kLru);
 
-  for (const Record& r : trace.records) {
-    const bool is_read = r.kind == EventKind::kRead;
-    if ((!is_read && r.kind != EventKind::kWrite) || r.bytes <= 0) continue;
-    const auto [first, last] = span_of(r, config.block_size);
+  for (const ReplayOp& op : ops) {
+    const auto [first, last] = span_of(op, config.block_size);
 
-    if (config.compute_buffers_per_node > 0 && is_read &&
-        read_only.count({r.job, r.file}) > 0) {
-      auto [it, inserted] =
-          compute.try_emplace(std::make_pair(r.job, r.node),
-                              config.compute_buffers_per_node, Policy::kLru);
-      BlockCache& front = it->second;
+    if (config.compute_buffers_per_node > 0 && op.is_read &&
+        op.read_only_session) {
+      BlockCache& front = compute.at(op.job, op.node);
       bool full_hit = true;
       for (std::int64_t b = first; b <= last; ++b) {
-        if (!front.contains({r.file, b})) {
+        if (!front.contains({op.file, b})) {
           full_hit = false;
           break;
         }
       }
       for (std::int64_t b = first; b <= last; ++b) {
-        (void)front.access({r.file, b}, r.node);
+        (void)front.access({op.file, b}, op.node);
       }
       if (full_hit) {
         ++out.filtered_by_compute;
@@ -127,7 +173,7 @@ IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
 
     // Round-robin striping at one-block granularity (paper §4.8).  The
     // request is "fully satisfied from the buffer" when every block it
-    // touches is already resident (Figure 8's definition, applied here to
+    // touches is already cached (Figure 8's definition, applied here to
     // the I/O-node caches).
     ++out.requests;
     bool full_hit = true;
@@ -135,7 +181,7 @@ IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
       BlockCache& cache =
           io_caches[static_cast<std::size_t>(b % config.io_nodes)];
       ++out.block_accesses;
-      if (cache.access({r.file, b}, r.node)) {
+      if (cache.access({op.file, b}, op.node)) {
         ++out.block_hits;
       } else {
         full_hit = false;
@@ -151,6 +197,46 @@ IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
                                static_cast<double>(out.block_accesses)
                          : 0.0;
   return out;
+}
+
+}  // namespace
+}  // namespace detail
+
+ComputeCacheResult simulate_compute_cache(const trace::SortedTrace& trace,
+                                          const std::set<SessionKey>& read_only,
+                                          const ComputeCacheConfig& config) {
+  return detail::replay_compute_cache(detail::prepare_replay(trace, read_only),
+                                      config);
+}
+
+IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
+                                  const std::set<SessionKey>& read_only,
+                                  const IoNodeSimConfig& config) {
+  return detail::replay_io_cache(detail::prepare_replay(trace, read_only),
+                                 config);
+}
+
+SweepRunner::SweepRunner(const trace::SortedTrace& trace,
+                         const std::set<SessionKey>& read_only,
+                         util::ThreadPool& pool)
+    : prepared_(detail::prepare_replay(trace, read_only)), pool_(&pool) {}
+
+std::vector<ComputeCacheResult> SweepRunner::run_compute(
+    const std::vector<ComputeCacheConfig>& configs) const {
+  std::vector<ComputeCacheResult> results(configs.size());
+  util::parallel_for(*pool_, configs.size(), [&](std::size_t i) {
+    results[i] = detail::replay_compute_cache(prepared_, configs[i]);
+  });
+  return results;
+}
+
+std::vector<IoNodeSimResult> SweepRunner::run_io(
+    const std::vector<IoNodeSimConfig>& configs) const {
+  std::vector<IoNodeSimResult> results(configs.size());
+  util::parallel_for(*pool_, configs.size(), [&](std::size_t i) {
+    results[i] = detail::replay_io_cache(prepared_, configs[i]);
+  });
+  return results;
 }
 
 std::string IoNodeSimResult::describe() const {

@@ -19,11 +19,32 @@
 #include "cache/block_cache.hpp"
 #include "trace/postprocess.hpp"
 #include "util/histogram.hpp"
+#include "util/thread_pool.hpp"
 
 namespace charisma::cache {
 
 using cfs::JobId;
 using SessionKey = std::pair<JobId, FileId>;
+
+namespace detail {
+
+/// One replayable data request, pre-filtered from the trace: only reads and
+/// writes with positive byte counts survive, and the read-only-session
+/// lookup is resolved once instead of per (config, record).
+struct ReplayOp {
+  FileId file = cfs::kNoFile;
+  JobId job = cfs::kNoJob;
+  NodeId node = 0;
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  bool is_read = false;
+  bool read_only_session = false;
+};
+
+[[nodiscard]] std::vector<ReplayOp> prepare_replay(
+    const trace::SortedTrace& trace, const std::set<SessionKey>& read_only);
+
+}  // namespace detail
 
 // ---- Figure 8 -------------------------------------------------------------
 
@@ -80,5 +101,39 @@ struct IoNodeSimResult {
 [[nodiscard]] IoNodeSimResult simulate_io_cache(
     const trace::SortedTrace& trace, const std::set<SessionKey>& read_only,
     const IoNodeSimConfig& config);
+
+// ---- Parameter sweeps ------------------------------------------------------
+
+/// Fans independent cache-simulation replays of one immutable trace out
+/// over a thread pool (each (size, policy, prefetch) point replays the whole
+/// trace, so points are embarrassingly parallel).  Results always come back
+/// in configuration order, making the output invariant under the pool's
+/// thread count — the sweep benches and the perf harness depend on that.
+///
+/// The trace is pre-filtered once (detail::prepare_replay) so the per-point
+/// replay touches only data requests and never repeats the read-only-session
+/// set lookups; with tens of sweep points this alone is a measurable win
+/// even single-threaded.
+class SweepRunner {
+ public:
+  /// Borrows all three references; they must outlive the runner.
+  SweepRunner(const trace::SortedTrace& trace,
+              const std::set<SessionKey>& read_only, util::ThreadPool& pool);
+
+  /// Figure 8 points, one result per config, in config order.
+  [[nodiscard]] std::vector<ComputeCacheResult> run_compute(
+      const std::vector<ComputeCacheConfig>& configs) const;
+  /// Figure 9 / §4.8 points, one result per config, in config order.
+  [[nodiscard]] std::vector<IoNodeSimResult> run_io(
+      const std::vector<IoNodeSimConfig>& configs) const;
+
+  [[nodiscard]] std::size_t replay_ops() const noexcept {
+    return prepared_.size();
+  }
+
+ private:
+  std::vector<detail::ReplayOp> prepared_;
+  util::ThreadPool* pool_;
+};
 
 }  // namespace charisma::cache

@@ -3,7 +3,7 @@
 namespace charisma::core {
 
 StudyOutput run_study(const StudyConfig& config) {
-  sim::Engine engine;
+  sim::Engine engine(config.queue);
   // The machine's clock skews must not depend on the workload draw.
   util::Rng machine_rng(config.workload.seed ^ 0xC10CC10CULL);
   ipsc::Machine machine(engine, config.machine, machine_rng);
@@ -20,6 +20,7 @@ StudyOutput run_study(const StudyConfig& config) {
   out.collector_messages = collector.messages_to_collector();
   out.trace_bytes = collector.trace_bytes_written();
   out.total_ops = driver.total_ops();
+  out.events_dispatched = engine.dispatched_events();
   out.sim_end = engine.now();
   for (int d = 0; d < machine.io_nodes(); ++d) {
     out.user_bytes_moved += machine.disk(d).bytes_moved();

@@ -12,6 +12,7 @@
 
 #include "cfs/runtime.hpp"
 #include "ipsc/machine.hpp"
+#include "sim/engine.hpp"
 #include "trace/collector.hpp"
 #include "trace/postprocess.hpp"
 #include "workload/driver.hpp"
@@ -24,6 +25,10 @@ struct StudyConfig {
   ipsc::MachineConfig machine = ipsc::MachineConfig::nas_ames();
   cfs::RuntimeParams runtime;
   trace::CollectorParams collector;
+  /// Event-queue implementation; both kinds dispatch identically (the
+  /// differential test holds them to the same trace digest), so this only
+  /// matters for performance work.
+  sim::QueueKind queue = sim::kDefaultQueueKind;
 };
 
 struct StudyOutput {
@@ -38,6 +43,7 @@ struct StudyOutput {
   std::int64_t trace_bytes = 0;
   std::int64_t user_bytes_moved = 0;  // all disk traffic, for the <1% claim
   std::uint64_t total_ops = 0;
+  std::uint64_t events_dispatched = 0;  // engine events, for events/sec
   util::MicroSec sim_end = 0;
 };
 

@@ -1,14 +1,123 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace charisma::sim {
 
+namespace {
+
+/// Orders events ascending by (at, seq) for the in-bucket sorted runs.
+struct Earlier {
+  bool operator()(const std::pair<MicroSec, std::uint64_t>& key,
+                  const auto& ev) const noexcept {
+    return key.first != ev.at ? key.first < ev.at : key.second < ev.seq;
+  }
+};
+
+}  // namespace
+
+// ---- BucketQueue -----------------------------------------------------------
+
+void Engine::BucketQueue::insert_in_window(Event ev) {
+  const auto idx = static_cast<std::size_t>((ev.at - window_start_) >>
+                                            kBucketShift);
+  DCHECK(idx < kBucketCount, "bucket index ", idx, " out of range");
+  Bucket& b = buckets_[idx];
+  // Keep [head, end) sorted by (at, seq).  seq grows monotonically, so the
+  // dominant schedule pattern (same or later timestamps) appends at the end
+  // and upper_bound finds that in O(log k) with zero moves.
+  const auto pos = std::upper_bound(
+      b.events.begin() + static_cast<std::ptrdiff_t>(b.head), b.events.end(),
+      std::make_pair(ev.at, ev.seq), Earlier{});
+  b.events.insert(pos, std::move(ev));
+  ++in_window_;
+  // A peek may already have advanced the cursor past this bucket; pull it
+  // back so the new event is not skipped.
+  cursor_ = std::min(cursor_, idx);
+}
+
+void Engine::BucketQueue::push(Event ev) {
+  if (ev.at < window_start_ + kSpan) {
+    // Engine::schedule_at guarantees ev.at >= now() >= window_start_.
+    insert_in_window(std::move(ev));
+  } else {
+    overflow_.push_back(std::move(ev));
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void Engine::BucketQueue::migrate_overflow() {
+  DCHECK(in_window_ == 0 && !overflow_.empty(),
+         "migration needs an empty window and a populated overflow band");
+  // Rebase the window onto the earliest far event.  The caller pops that
+  // event immediately, so simulated time catches up to window_start_ before
+  // any schedule_at can target the gap below it.
+  window_start_ =
+      (overflow_.front().at >> kBucketShift) << kBucketShift;
+  cursor_ = 0;
+  const MicroSec window_end = window_start_ + kSpan;
+  while (!overflow_.empty() && overflow_.front().at < window_end) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    insert_in_window(std::move(overflow_.back()));
+    overflow_.pop_back();
+  }
+}
+
+bool Engine::BucketQueue::next_time(MicroSec* at) {
+  if (in_window_ > 0) {
+    while (buckets_[cursor_].head >= buckets_[cursor_].events.size()) {
+      DCHECK(cursor_ + 1 < kBucketCount, "window count out of sync");
+      ++cursor_;
+    }
+    const Bucket& b = buckets_[cursor_];
+    *at = b.events[b.head].at;
+    return true;
+  }
+  if (!overflow_.empty()) {
+    *at = overflow_.front().at;
+    return true;
+  }
+  return false;
+}
+
+Engine::Event Engine::BucketQueue::pop() {
+  if (in_window_ == 0) migrate_overflow();
+  MicroSec ignored;
+  // The call advances cursor_ to the live bucket; it must run even with
+  // DCHECK compiled out.
+  [[maybe_unused]] const bool any = next_time(&ignored);
+  DCHECK(any, "pop() on an empty queue");
+  Bucket& b = buckets_[cursor_];
+  Event ev = std::move(b.events[b.head]);
+  ++b.head;
+  --in_window_;
+  if (b.head == b.events.size()) {
+    b.events.clear();  // keeps capacity for the next window lap
+    b.head = 0;
+  }
+  return ev;
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine::Engine(QueueKind queue) : kind_(queue) {}
+
+std::size_t Engine::pending_events() const noexcept {
+  return kind_ == QueueKind::kBucketed ? bucketed_.size() : heap_.size();
+}
+
 void Engine::schedule_at(MicroSec at, Callback fn) {
-  // A stale event would silently dispatch at the wrong time: the priority
-  // queue orders by `at`, so a past timestamp jumps the whole queue.
+  // A stale event would silently dispatch at the wrong time: both queues
+  // order by `at`, so a past timestamp jumps everything pending.
   CHECK(at >= now_, "schedule_at(", at, ") is in the past: now()=", now_);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  Event ev{at, next_seq_++, std::move(fn)};
+  if (kind_ == QueueKind::kBucketed) {
+    bucketed_.push(std::move(ev));
+  } else {
+    heap_.push(std::move(ev));
+  }
 }
 
 void Engine::schedule_in(MicroSec delay, Callback fn) {
@@ -17,10 +126,17 @@ void Engine::schedule_in(MicroSec delay, Callback fn) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the callback must be moved out before pop.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event ev;
+  if (kind_ == QueueKind::kBucketed) {
+    if (bucketed_.empty()) return false;
+    ev = bucketed_.pop();
+  } else {
+    if (heap_.empty()) return false;
+    // priority_queue::top is const; the callback must be moved out before
+    // pop.
+    ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+  }
   // Monotone dispatch: simulated time never moves backwards.
   CHECK(ev.at >= now_, "event at t=", ev.at, " dispatched after now()=", now_);
   now_ = ev.at;
@@ -35,7 +151,12 @@ void Engine::run() {
 }
 
 void Engine::run_until(MicroSec deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  if (kind_ == QueueKind::kBucketed) {
+    MicroSec at;
+    while (bucketed_.next_time(&at) && at <= deadline) step();
+  } else {
+    while (!heap_.empty() && heap_.top().at <= deadline) step();
+  }
   if (now_ < deadline) now_ = deadline;
 }
 

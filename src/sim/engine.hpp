@@ -5,31 +5,52 @@
 //   * time is integer microseconds (util::MicroSec);
 //   * ties are broken by schedule order (a monotone sequence number), so a
 //    (seed, config) pair always produces the identical event interleaving.
+//
+// Two interchangeable event queues implement that contract:
+//   * kBucketed (default): a two-level calendar queue — near-future events
+//     hash into fixed-width time buckets (each bucket a small sorted run),
+//     far-future events wait in a sorted overflow band and migrate into the
+//     bucket window when it advances.  O(1) amortized per event instead of
+//     the binary heap's O(log n) on large pending sets.
+//   * kReferenceHeap: the original std::priority_queue, kept for
+//     differential testing (tests/sim/engine_differential_test.cpp) and
+//     selectable as the build default with -DCHARISMA_REFERENCE_QUEUE=ON.
+// Both dispatch in exactly the same (at, seq) order; the digest-identity
+// tests enforce it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "util/units.hpp"
 
 namespace charisma::sim {
 
 using util::MicroSec;
 
+enum class QueueKind : std::uint8_t { kBucketed, kReferenceHeap };
+
+#if defined(CHARISMA_REFERENCE_QUEUE)
+inline constexpr QueueKind kDefaultQueueKind = QueueKind::kReferenceHeap;
+#else
+inline constexpr QueueKind kDefaultQueueKind = QueueKind::kBucketed;
+#endif
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  explicit Engine(QueueKind queue = kDefaultQueueKind);
 
   /// Current simulated time.
   [[nodiscard]] MicroSec now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const noexcept;
   [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
     return dispatched_;
   }
+  [[nodiscard]] QueueKind queue_kind() const noexcept { return kind_; }
 
   /// Schedules `fn` at absolute time `at` (>= now).
   void schedule_at(MicroSec at, Callback fn);
@@ -46,8 +67,8 @@ class Engine {
 
  private:
   struct Event {
-    MicroSec at;
-    std::uint64_t seq;
+    MicroSec at = 0;
+    std::uint64_t seq = 0;
     Callback fn;
   };
   struct Later {
@@ -56,7 +77,56 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// The two-level calendar queue.  Level 1: kBucketCount buckets of
+  /// kBucketWidth microseconds each, covering [window_start_, window_start_
+  /// + kSpan); each bucket keeps its pending events sorted by (at, seq)
+  /// from `head` onward.  Level 2: a binary-heap overflow band for events
+  /// at or beyond the window, migrated bucket-ward when the window empties.
+  class BucketQueue {
+   public:
+    static constexpr int kBucketShift = 7;  // 128 us per bucket
+    static constexpr MicroSec kBucketWidth = MicroSec{1} << kBucketShift;
+    static constexpr std::size_t kBucketCount = 2048;
+    static constexpr MicroSec kSpan =
+        kBucketWidth * static_cast<MicroSec>(kBucketCount);
+
+    BucketQueue() : buckets_(kBucketCount) {}
+
+    void push(Event ev);
+    /// Earliest pending time; false when empty.  May advance the bucket
+    /// cursor but never reorders or migrates events.
+    [[nodiscard]] bool next_time(MicroSec* at);
+    /// Pops the (at, seq)-least event; queue must be non-empty.
+    [[nodiscard]] Event pop();
+    [[nodiscard]] std::size_t size() const noexcept {
+      return in_window_ + overflow_.size();
+    }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+   private:
+    struct Bucket {
+      std::vector<Event> events;  // sorted by (at, seq) from `head` on
+      std::size_t head = 0;
+    };
+
+    void insert_in_window(Event ev);
+    /// Rebases the window onto the earliest overflow event and moves every
+    /// overflow event inside the new window into its bucket.
+    void migrate_overflow();
+
+    std::vector<Bucket> buckets_;
+    std::vector<Event> overflow_;  // min-heap under Later
+    MicroSec window_start_ = 0;    // multiple of kBucketWidth
+    std::size_t cursor_ = 0;       // no non-empty bucket before this index
+    std::size_t in_window_ = 0;
+  };
+
+  using ReferenceQueue =
+      std::priority_queue<Event, std::vector<Event>, Later>;
+
+  QueueKind kind_;
+  BucketQueue bucketed_;
+  ReferenceQueue heap_;
   MicroSec now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -1,0 +1,132 @@
+// A move-only, small-buffer-optimized callable for engine events.
+//
+// std::function<void()> keeps only ~16 bytes of capture inline on the
+// common ABIs, so the simulator's bread-and-butter event — a driver step
+// capturing [this, run, rank] — heap-allocates on every schedule.  At
+// millions of events per study that malloc/free pair dominates the engine's
+// cost.  InlineCallback keeps captures up to kInlineSize bytes in the event
+// itself and only falls back to the heap beyond that.
+//
+// Deliberately narrower than std::function: move-only (events are consumed
+// exactly once), no target introspection, and invocation is non-const.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace charisma::sim {
+
+class InlineCallback {
+ public:
+  /// Capture budget chosen to fit the driver's step closures (a pointer, a
+  /// shared_ptr, an index) with headroom; see docs/performance.md.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineCallback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit, like std::function
+  InlineCallback(F&& fn) {
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buffer_, other.buffer_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    if (other.vtable_ != nullptr) {
+      vtable_ = other.vtable_;
+      vtable_->relocate(buffer_, other.buffer_);
+      other.vtable_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  /// Whether the target lives in the inline buffer (no heap allocation).
+  /// Exposed so tests can pin down the size budget.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+  void operator()() {
+    DCHECK(vtable_ != nullptr, "invoking an empty InlineCallback");
+    vtable_->invoke(buffer_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* target);
+    /// Move-constructs dst from src and destroys src (both raw buffers).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* target) noexcept;
+    bool inline_storage;
+  };
+
+  // Inline storage additionally requires a nothrow move so relocation (used
+  // by container growth and queue surgery) can never half-move an event.
+  template <typename D>
+  static constexpr bool stored_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* t) { (*static_cast<D*>(t))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* t) noexcept { static_cast<D*>(t)->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* t) { (**static_cast<D* const*>(t))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* t) noexcept { delete *static_cast<D**>(t); },
+      /*inline_storage=*/false,
+  };
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buffer_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace charisma::sim

@@ -73,7 +73,18 @@ void parallel_for(ThreadPool& pool, std::size_t n,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every chunk before rethrowing: bailing out on the first throw
+  // would return (and destroy the caller's `body`) while later chunks are
+  // still running against it.
+  std::exception_ptr first_failure;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
 }
 
 }  // namespace charisma::util

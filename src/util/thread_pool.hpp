@@ -31,6 +31,8 @@ class ThreadPool {
   }
 
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Worker threads never swallow a throw: every exception a task raises is
+  /// captured into its future (tests/util/thread_pool_test.cpp pins this).
   std::future<void> submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
@@ -49,8 +51,10 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, n), split into contiguous chunks across the
-/// pool.  Rethrows the first task exception.  `body` must be safe to call
-/// concurrently for distinct i.
+/// pool.  Rethrows the first failure (the exception of the lowest-index
+/// chunk that threw), but only after every chunk has finished — the caller's
+/// `body` and captures stay borrowable for the whole call even on the error
+/// path.  `body` must be safe to call concurrently for distinct i.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 

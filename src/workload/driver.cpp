@@ -78,7 +78,8 @@ void Driver::start_job(const JobSpec& spec) {
   util::check(base >= 0, "start_job allocation must succeed");
 
   ++running_;
-  auto run = std::make_shared<JobRun>();
+  runs_.push_back(std::make_unique<JobRun>());
+  JobRun* run = runs_.back().get();
   run->spec = &spec;
   run->base = base;
   JobScripts scripts = build_scripts(spec, *workload_);
@@ -114,7 +115,7 @@ void Driver::start_job(const JobSpec& spec) {
   }
 }
 
-void Driver::step(const std::shared_ptr<JobRun>& run, std::int32_t rank) {
+void Driver::step(JobRun* run, std::int32_t rank) {
   auto& nr = run->nodes[static_cast<std::size_t>(rank)];
   auto& engine = machine_->engine();
   if (nr.pc >= nr.ops.size()) {
@@ -244,7 +245,7 @@ void Driver::step(const std::shared_ptr<JobRun>& run, std::int32_t rank) {
   engine.schedule_in(delay, [this, run, rank] { step(run, rank); });
 }
 
-void Driver::finish_job(const std::shared_ptr<JobRun>& run) {
+void Driver::finish_job(JobRun* run) {
   auto& result = results_[run->result_index];
   result.end = machine_->engine().now();
 
@@ -256,6 +257,15 @@ void Driver::finish_job(const std::shared_ptr<JobRun>& run) {
   collector_->append_job_event(end_rec);
 
   allocator_.release(run->base, static_cast<std::int32_t>(run->nodes.size()));
+  // The shell stays alive in runs_ (step callbacks may hold the pointer),
+  // but the per-node clients, scripts, and barrier state are dead weight
+  // from here on.  The caller (step) touches nothing of run's after this.
+  run->nodes.clear();
+  run->nodes.shrink_to_fit();
+  run->barriers.clear();
+  run->barriers.shrink_to_fit();
+  run->paths.clear();
+  run->paths.shrink_to_fit();
   --running_;
   try_start_pending();
 }

@@ -83,8 +83,8 @@ class Driver {
   void on_arrival(std::size_t spec_index);
   void try_start_pending();
   void start_job(const JobSpec& spec);
-  void step(const std::shared_ptr<JobRun>& run, std::int32_t rank);
-  void finish_job(const std::shared_ptr<JobRun>& run);
+  void step(JobRun* run, std::int32_t rank);
+  void finish_job(JobRun* run);
 
   ipsc::Machine* machine_;
   cfs::Runtime* runtime_;
@@ -93,6 +93,12 @@ class Driver {
   SubcubeAllocator allocator_;
   std::deque<std::size_t> pending_;  // spec indices waiting for nodes
   std::vector<JobResult> results_;
+  /// Owns every started job's run state for the driver's lifetime, so the
+  /// engine's step callbacks can capture a raw JobRun* — a shared_ptr per
+  /// event costs an atomic refcount round-trip on the hottest path in the
+  /// simulator.  finish_job() releases a finished run's bulk (node state,
+  /// scripts) and keeps only the empty shell.
+  std::vector<std::unique_ptr<JobRun>> runs_;
   std::uint64_t ops_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t clamped_ = 0;

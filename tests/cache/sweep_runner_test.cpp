@@ -1,0 +1,167 @@
+#include "cache/simulators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charisma::cache {
+namespace {
+
+using trace::EventKind;
+
+trace::Record data(EventKind kind, cfs::JobId job, cfs::NodeId node,
+                   cfs::FileId file, std::int64_t offset, std::int64_t bytes) {
+  trace::Record r;
+  r.kind = kind;
+  r.job = job;
+  r.node = node;
+  r.file = file;
+  r.offset = offset;
+  r.bytes = bytes;
+  return r;
+}
+
+// A mixed synthetic trace: several jobs, shared and private files, reads and
+// writes, enough volume that the sweep actually chunks across threads.
+trace::SortedTrace mixed_trace() {
+  trace::SortedTrace t;
+  util::Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const auto job = static_cast<cfs::JobId>(1 + rng.uniform(4));
+    const auto node = static_cast<cfs::NodeId>(rng.uniform(8));
+    const auto file = static_cast<cfs::FileId>(1 + rng.uniform(6));
+    const auto block = static_cast<std::int64_t>(rng.uniform(512));
+    const bool write = rng.chance(0.15);
+    t.records.push_back(data(write ? EventKind::kWrite : EventKind::kRead,
+                             job, node, file, block * 4096,
+                             static_cast<std::int64_t>(64 + rng.uniform(8192))));
+  }
+  return t;
+}
+
+std::set<SessionKey> read_only_for(const trace::SortedTrace&) {
+  // Declare a fixed subset of (job, file) sessions read-only; the sweeps
+  // only need *some* sessions eligible for compute-node caching.
+  std::set<SessionKey> ro;
+  for (cfs::JobId job = 1; job <= 4; ++job) {
+    for (cfs::FileId file = 1; file <= 3; ++file) ro.emplace(job, file);
+  }
+  return ro;
+}
+
+std::vector<ComputeCacheConfig> compute_points() {
+  std::vector<ComputeCacheConfig> configs(3);
+  configs[0].buffers_per_node = 1;
+  configs[1].buffers_per_node = 10;
+  configs[2].buffers_per_node = 50;
+  return configs;
+}
+
+std::vector<IoNodeSimConfig> io_points() {
+  std::vector<IoNodeSimConfig> configs;
+  for (const std::size_t buffers : {50u, 200u, 800u}) {
+    for (const Policy policy : {Policy::kLru, Policy::kFifo}) {
+      IoNodeSimConfig cfg;
+      cfg.total_buffers = buffers;
+      cfg.policy = policy;
+      configs.push_back(cfg);
+    }
+  }
+  IoNodeSimConfig combined;
+  combined.total_buffers = 200;
+  combined.compute_buffers_per_node = 1;
+  configs.push_back(combined);
+  return configs;
+}
+
+void expect_same(const ComputeCacheResult& a, const ComputeCacheResult& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.job_hit_rates, b.job_hit_rates);
+  EXPECT_EQ(a.fraction_jobs_zero, b.fraction_jobs_zero);
+  EXPECT_EQ(a.fraction_jobs_above_75, b.fraction_jobs_above_75);
+}
+
+void expect_same(const IoNodeSimResult& a, const IoNodeSimResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.request_hits, b.request_hits);
+  EXPECT_EQ(a.block_accesses, b.block_accesses);
+  EXPECT_EQ(a.block_hits, b.block_hits);
+  EXPECT_EQ(a.filtered_by_compute, b.filtered_by_compute);
+  EXPECT_EQ(a.hit_rate, b.hit_rate);
+  EXPECT_EQ(a.block_hit_rate, b.block_hit_rate);
+}
+
+TEST(SweepRunner, ResultsAreInvariantUnderThreadCount) {
+  const auto trace = mixed_trace();
+  const auto ro = read_only_for(trace);
+  const auto cc = compute_points();
+  const auto io = io_points();
+
+  util::ThreadPool one(1);
+  const SweepRunner baseline(trace, ro, one);
+  const auto compute_1 = baseline.run_compute(cc);
+  const auto io_1 = baseline.run_io(io);
+  ASSERT_EQ(compute_1.size(), cc.size());
+  ASSERT_EQ(io_1.size(), io.size());
+
+  for (const std::size_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const SweepRunner runner(trace, ro, pool);
+    const auto compute_n = runner.run_compute(cc);
+    const auto io_n = runner.run_io(io);
+    ASSERT_EQ(compute_n.size(), cc.size()) << threads << " threads";
+    ASSERT_EQ(io_n.size(), io.size()) << threads << " threads";
+    for (std::size_t i = 0; i < cc.size(); ++i) {
+      expect_same(compute_1[i], compute_n[i]);
+    }
+    for (std::size_t i = 0; i < io.size(); ++i) {
+      expect_same(io_1[i], io_n[i]);
+    }
+  }
+}
+
+TEST(SweepRunner, AgreesWithTheDirectSimulators) {
+  // The prepared-replay fast path must compute exactly what the one-shot
+  // entry points compute.
+  const auto trace = mixed_trace();
+  const auto ro = read_only_for(trace);
+  util::ThreadPool pool(4);
+  const SweepRunner runner(trace, ro, pool);
+
+  const auto cc = compute_points();
+  const auto compute = runner.run_compute(cc);
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    expect_same(compute[i], simulate_compute_cache(trace, ro, cc[i]));
+  }
+  const auto io = io_points();
+  const auto io_results = runner.run_io(io);
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    expect_same(io_results[i], simulate_io_cache(trace, ro, io[i]));
+  }
+}
+
+TEST(SweepRunner, PreparesOnlyDataRequests) {
+  trace::SortedTrace t;
+  t.records.push_back(data(EventKind::kRead, 1, 0, 1, 0, 100));
+  t.records.push_back(data(EventKind::kWrite, 1, 0, 1, 0, 100));
+  t.records.push_back(data(EventKind::kRead, 1, 0, 1, 0, 0));  // empty: dropped
+  t.records.push_back(data(EventKind::kOpen, 1, 0, 1, 0, 0));
+  util::ThreadPool pool(1);
+  const SweepRunner runner(t, {}, pool);
+  EXPECT_EQ(runner.replay_ops(), 2u);
+}
+
+TEST(SweepRunner, EmptyConfigListsYieldEmptyResults) {
+  trace::SortedTrace t;
+  util::ThreadPool pool(1);
+  const SweepRunner runner(t, {}, pool);
+  EXPECT_TRUE(runner.run_compute({}).empty());
+  EXPECT_TRUE(runner.run_io({}).empty());
+}
+
+}  // namespace
+}  // namespace charisma::cache

@@ -1,0 +1,183 @@
+// Differential test for the two event-queue implementations.
+//
+// The bucketed calendar queue must dispatch in exactly the same (at, seq)
+// order as the reference binary heap — not just "a valid order".  The same
+// RNG-driven schedule is replayed on both engines and the dispatch logs are
+// compared element-for-element; a full study at scale 0.05 must then yield
+// the identical trace digest under either queue.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/study.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace charisma::sim {
+namespace {
+
+using DispatchLog = std::vector<std::pair<MicroSec, int>>;
+
+// Replays a deterministic pseudo-random schedule on one engine.  The RNG is
+// consumed during dispatch, so the draws (and therefore the whole schedule)
+// line up between two engines only when their dispatch orders are identical
+// — a divergence amplifies instead of hiding.
+class RandomSchedule {
+ public:
+  RandomSchedule(Engine& engine, std::uint64_t seed, int budget)
+      : engine_(&engine), rng_(seed), budget_(budget) {}
+
+  DispatchLog run() {
+    // Seeds: bursts on shared timestamps plus arrivals scattered far enough
+    // to straddle the bucketed queue's window (2048 x 128 us ~ 262 ms).
+    for (int burst = 0; burst < 8; ++burst) {
+      const auto at = static_cast<MicroSec>(rng_.uniform(2000));
+      for (int j = 0; j < 5; ++j) spawn(at);
+    }
+    for (int i = 0; i < 64; ++i) {
+      spawn(static_cast<MicroSec>(rng_.uniform(2'000'000)));
+    }
+    engine_->run();
+    return std::move(log_);
+  }
+
+ private:
+  void spawn(MicroSec at) {
+    const int id = next_id_++;
+    engine_->schedule_at(at, [this, id] { fire(id); });
+  }
+
+  void fire(int id) {
+    log_.emplace_back(engine_->now(), id);
+    if (next_id_ >= budget_) return;
+    const std::uint64_t children = rng_.uniform(3);
+    for (std::uint64_t c = 0; c < children; ++c) {
+      MicroSec delay;
+      const std::uint64_t kind = rng_.uniform(10);
+      if (kind < 5) {
+        delay = static_cast<MicroSec>(rng_.uniform(256));  // same bucket
+      } else if (kind < 8) {
+        delay = static_cast<MicroSec>(rng_.uniform(20'000));  // in window
+      } else {
+        // Beyond the window: lands in the overflow band and must migrate.
+        delay = 300'000 + static_cast<MicroSec>(rng_.uniform(3'000'000));
+      }
+      spawn(engine_->now() + delay);
+    }
+    if (rng_.chance(0.1)) {
+      // Same-timestamp burst scheduled during dispatch (at == now()).
+      for (int j = 0; j < 3; ++j) spawn(engine_->now());
+    }
+  }
+
+  Engine* engine_;
+  util::Rng rng_;
+  DispatchLog log_;
+  int next_id_ = 0;
+  int budget_;
+};
+
+TEST(EngineDifferential, RandomSchedulesDispatchIdentically) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 987'654'321ULL}) {
+    Engine bucketed(QueueKind::kBucketed);
+    Engine reference(QueueKind::kReferenceHeap);
+    ASSERT_EQ(bucketed.queue_kind(), QueueKind::kBucketed);
+    ASSERT_EQ(reference.queue_kind(), QueueKind::kReferenceHeap);
+    const DispatchLog a = RandomSchedule(bucketed, seed, 4000).run();
+    const DispatchLog b = RandomSchedule(reference, seed, 4000).run();
+    ASSERT_GT(a.size(), 100u) << "schedule too small to mean anything";
+    ASSERT_EQ(a, b) << "dispatch orders diverged for seed " << seed;
+    EXPECT_EQ(bucketed.now(), reference.now());
+    EXPECT_EQ(bucketed.dispatched_events(), reference.dispatched_events());
+  }
+}
+
+// A fixed scenario aimed at the queue's edges: run_until deadlines exactly
+// on, between, and before event times; scheduling into a bucket the cursor
+// already passed; and draining an overflow-only queue.
+DispatchLog run_until_scenario(Engine& e) {
+  DispatchLog log;
+  const auto mark = [&log, &e](int id) { log.emplace_back(e.now(), id); };
+  for (int i = 0; i < 4; ++i) {
+    e.schedule_at(100, [&mark, i] { mark(i); });
+  }
+  e.schedule_at(101, [&mark] { mark(10); });
+  e.schedule_at(500'000, [&mark] { mark(11); });  // overflow band
+  e.run_until(99);  // peeks but dispatches nothing
+  log.emplace_back(e.now(), -1);
+  e.run_until(100);  // the burst fires; 101 stays queued
+  log.emplace_back(e.now(), -2);
+  e.schedule_at(100, [&mark] { mark(12); });  // == now(), cursor passed it
+  e.run_until(101);
+  log.emplace_back(e.now(), -3);
+  // Only the overflow event remains; add a nearer one, then drain.
+  e.schedule_at(200'000, [&mark] { mark(13); });
+  e.run();
+  log.emplace_back(e.now(), -4);
+  log.emplace_back(static_cast<MicroSec>(e.pending_events()), -5);
+  return log;
+}
+
+TEST(EngineDifferential, RunUntilBoundariesMatch) {
+  Engine bucketed(QueueKind::kBucketed);
+  Engine reference(QueueKind::kReferenceHeap);
+  EXPECT_EQ(run_until_scenario(bucketed), run_until_scenario(reference));
+}
+
+TEST(EngineDifferential, FarFutureOnlySchedulesMatch) {
+  // Every event beyond the initial window: exercises repeated migration,
+  // including events that re-enter the overflow band after a rebase.
+  const auto scenario = [](Engine& e) {
+    DispatchLog log;
+    for (int i = 0; i < 40; ++i) {
+      const auto at = static_cast<MicroSec>(1'000'000 + 270'000 * i);
+      e.schedule_at(at, [&log, &e, i] {
+        log.emplace_back(e.now(), i);
+        if (i % 3 == 0) {
+          e.schedule_in(650'000, [&log, &e, i] {
+            log.emplace_back(e.now(), 1000 + i);
+          });
+        }
+      });
+    }
+    e.run();
+    return log;
+  };
+  Engine bucketed(QueueKind::kBucketed);
+  Engine reference(QueueKind::kReferenceHeap);
+  EXPECT_EQ(scenario(bucketed), scenario(reference));
+}
+
+TEST(EngineDifferential, StudyDigestsMatchAcrossQueues) {
+  core::StudyConfig config;
+  config.workload.scale = 0.05;
+  config.workload.seed = 42;
+  config.queue = QueueKind::kBucketed;
+  const auto bucketed = core::run_study(config);
+  config.queue = QueueKind::kReferenceHeap;
+  const auto reference = core::run_study(config);
+
+  ASSERT_GT(bucketed.raw.record_count(), 0u);
+  EXPECT_EQ(bucketed.raw.digest(), reference.raw.digest());
+  EXPECT_EQ(bucketed.events_dispatched, reference.events_dispatched);
+  EXPECT_EQ(bucketed.sim_end, reference.sim_end);
+  EXPECT_EQ(bucketed.records, reference.records);
+
+  // CI's perf-smoke job cross-checks bench/perf_study against this run:
+  // export CHARISMA_DIGEST_OUT=<path> and the digest lands there in the
+  // same 0x%016llx format perf_study writes into BENCH_study.json.
+  if (const char* out = std::getenv("CHARISMA_DIGEST_OUT")) {
+    std::FILE* f = std::fopen(out, "w");
+    ASSERT_NE(f, nullptr) << "cannot write digest to " << out;
+    std::fprintf(f, "0x%016llx\n",
+                 static_cast<unsigned long long>(bucketed.raw.digest()));
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace charisma::sim

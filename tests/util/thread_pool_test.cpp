@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace charisma::util {
+namespace {
+
+TEST(ThreadPool, SubmitFutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected the task's exception to come through the future";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "task boom");
+  }
+  // The worker that ran the throwing task must survive to serve more work.
+  auto after = pool.submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1037, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheLowestIndexFailure) {
+  // With n <= 4 * thread_count every index is its own chunk, so the chunk
+  // indices below are exact.  Futures drain in chunk order, which makes the
+  // lowest-index failure the one that surfaces — deterministically, even
+  // though the two throws race at runtime.
+  ThreadPool pool(2);
+  try {
+    parallel_for(pool, 8, [](std::size_t i) {
+      if (i == 2) throw std::runtime_error("index 2");
+      if (i == 6) throw std::runtime_error("index 6");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "index 2");
+  }
+}
+
+TEST(ThreadPool, ParallelForDrainsEveryChunkBeforeRethrowing) {
+  // The contract the sweep runner depends on: when one chunk throws, the
+  // call still waits for every other chunk, so the caller's body and
+  // captures stay valid for the whole call.  Index 0 fails instantly; the
+  // others dawdle, so an early-returning implementation would observe
+  // completed < 7 here.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(pool, 8, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("fast failure");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "fast failure");
+  }
+  EXPECT_EQ(completed.load(), 7);
+
+  // And the pool is still fully serviceable afterwards.
+  std::atomic<int> again{0};
+  parallel_for(pool, 16, [&](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace charisma::util

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Builds the Release tree and records an end-to-end perf study into
+# BENCH_study.json at the repository root.  The file holds the measured
+# stage timings for the default (bucketed-queue) engine, the same run under
+# the reference heap queue, and — when a pre-change baseline file is passed
+# — the end-to-end speedup against it, so perf regressions show up as diffs.
+#
+# Usage: tools/record_bench.sh [scale] [threads] [baseline.json]
+#   scale          workload scale (default 0.2)
+#   threads        sweep worker threads (default 0 = hardware concurrency)
+#   baseline.json  optional perf_study JSON from the pre-change tree; embedded
+#                  verbatim and used for the end-to-end speedup figure
+#
+# Requires jq (present in CI and the dev images).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.2}"
+THREADS="${2:-0}"
+BASELINE="${3:-}"
+BUILD=build-perf
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target perf_study > /dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run_queue() { # queue-kind -> $TMP/<kind>.json
+  echo "[record_bench] measuring $1 queue (scale=$SCALE threads=$THREADS)..."
+  "$BUILD/bench/perf_study" --scale="$SCALE" --threads="$THREADS" \
+      --queue="$1" --out="$TMP/$1.json" > /dev/null
+}
+
+run_queue bucketed
+run_queue reference
+
+if [ -n "$BASELINE" ]; then
+  cp "$BASELINE" "$TMP/baseline.json"
+else
+  echo 'null' > "$TMP/baseline.json"
+fi
+
+jq -n \
+  --slurpfile cur "$TMP/bucketed.json" \
+  --slurpfile ref "$TMP/reference.json" \
+  --slurpfile base "$TMP/baseline.json" \
+  --arg kernel "$(uname -sr)" \
+  --arg recorded "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  --argjson cores "$(nproc)" \
+  '{
+     recorded_utc: $recorded,
+     host: {kernel: $kernel, cores: $cores},
+     current: $cur[0],
+     reference_queue: $ref[0],
+     baseline_pre_change: $base[0],
+     speedup: {
+       study_stage_vs_reference_queue:
+         ($ref[0].stages_ms.study / $cur[0].stages_ms.study),
+       end_to_end_vs_reference_queue:
+         ($ref[0].stages_ms.total / $cur[0].stages_ms.total),
+       end_to_end_vs_baseline:
+         (if $base[0] == null then null
+          else $base[0].stages_ms.total / $cur[0].stages_ms.total end)
+     }
+   }' > BENCH_study.json
+
+echo "[record_bench] wrote BENCH_study.json:"
+cat BENCH_study.json
