@@ -1,7 +1,6 @@
 #include "cfs/client.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "util/check.hpp"
 
@@ -19,8 +18,9 @@ OpenResult Client::open(JobId job, const std::string& path,
   OpenResult r = runtime_->fs().open(job, node_, path, flags, mode,
                                      engine.now());
   if (!r.ok) return r;
-  const Fd fd = next_fd_++;
-  handles_.emplace(fd, Handle{r.file, job});
+  const Fd fd = kFirstFd + static_cast<Fd>(handles_.size());
+  handles_.push_back(Handle{r.file, job});
+  ++open_count_;
   r.fd = fd;
   // Metadata round-trip to I/O node 0 (the directory server in CFS).
   r.completed_at = engine.now() + params_.call_overhead +
@@ -37,7 +37,9 @@ MicroSec Client::execute(const Handle& h, const Reservation& r,
   if (r.bytes == 0) return start;
 
   MicroSec completion = start;
-  for (const BlockAccess& a : runtime_->fs().plan(h.file, r.offset, r.bytes)) {
+  plan_scratch_.clear();
+  runtime_->fs().plan_into(h.file, r.offset, r.bytes, plan_scratch_);
+  for (const BlockAccess& a : plan_scratch_) {
     ++io_messages_;
     // Request descriptor to the I/O node (plus the data for writes).
     const std::int64_t outbound =
@@ -62,13 +64,12 @@ IoResult Client::read(Fd fd, std::int64_t bytes) {
   IoResult result;
   auto& engine = runtime_->machine().engine();
   result.completed_at = engine.now();
-  const auto it = handles_.find(fd);
-  if (it == handles_.end()) {
+  const Handle* h = find_handle(fd);
+  if (h == nullptr) {
     result.error = "bad file descriptor";
     return result;
   }
-  const Handle& h = it->second;
-  Reservation r = runtime_->fs().reserve_read(h.job, node_, h.file, bytes,
+  Reservation r = runtime_->fs().reserve_read(h->job, node_, h->file, bytes,
                                               engine.now());
   if (!r.ok) {
     result.error = r.error;
@@ -77,7 +78,7 @@ IoResult Client::read(Fd fd, std::int64_t bytes) {
   result.ok = true;
   result.offset = r.offset;
   result.bytes = r.bytes;
-  result.completed_at = execute(h, r, /*is_write=*/false);
+  result.completed_at = execute(*h, r, /*is_write=*/false);
   return result;
 }
 
@@ -85,13 +86,12 @@ IoResult Client::write(Fd fd, std::int64_t bytes) {
   IoResult result;
   auto& engine = runtime_->machine().engine();
   result.completed_at = engine.now();
-  const auto it = handles_.find(fd);
-  if (it == handles_.end()) {
+  const Handle* h = find_handle(fd);
+  if (h == nullptr) {
     result.error = "bad file descriptor";
     return result;
   }
-  const Handle& h = it->second;
-  Reservation r = runtime_->fs().reserve_write(h.job, node_, h.file, bytes,
+  Reservation r = runtime_->fs().reserve_write(h->job, node_, h->file, bytes,
                                                engine.now());
   if (!r.ok) {
     result.error = r.error;
@@ -101,7 +101,7 @@ IoResult Client::write(Fd fd, std::int64_t bytes) {
   result.offset = r.offset;
   result.bytes = r.bytes;
   result.extended_file = r.extends_file;
-  result.completed_at = execute(h, r, /*is_write=*/true);
+  result.completed_at = execute(*h, r, /*is_write=*/true);
   return result;
 }
 
@@ -110,15 +110,17 @@ IoResult Client::read_strided(Fd fd, std::int64_t record,
   IoResult result;
   auto& machine = runtime_->machine();
   auto& engine = machine.engine();
+  // Error contract (client.hpp): a failed call reports the call time itself
+  // as completed_at — never a stale or advanced timestamp — and zero bytes.
   result.completed_at = engine.now();
-  const auto it = handles_.find(fd);
-  if (it == handles_.end()) {
+  const Handle* h = find_handle(fd);
+  if (h == nullptr) {
     result.error = "bad file descriptor";
     return result;
   }
-  const Handle& h = it->second;
-  Reservation r = runtime_->fs().reserve_strided_read(
-      h.job, node_, h.file, record, interval, count, engine.now());
+  auto& fs = runtime_->fs();
+  Reservation r = fs.reserve_strided_read(h->job, node_, h->file, record,
+                                          interval, count, engine.now());
   if (!r.ok) {
     result.error = r.error;
     return result;
@@ -130,53 +132,63 @@ IoResult Client::read_strided(Fd fd, std::int64_t record,
   result.completed_at = start;
   if (r.bytes == 0) return result;
 
-  // Gather every element's block accesses, grouped by I/O node: ONE
+  // Gather every element's block accesses, then group by I/O node: ONE
   // strided descriptor message per involved I/O node (that is the point).
-  std::map<int, std::vector<BlockAccess>> per_io;
+  // The machine has ~10 I/O nodes, so the grouping is a flat bucket per
+  // node — reused across calls — instead of a per-call ordered map.
+  plan_scratch_.clear();
   std::int64_t remaining = r.bytes;
   for (std::int64_t k = 0; k < count && remaining > 0; ++k) {
     const std::int64_t elem = r.offset + k * (record + interval);
     const std::int64_t take = std::min(record, remaining);
-    for (BlockAccess& a : runtime_->fs().plan(h.file, elem, take)) {
-      per_io[a.io_node].push_back(a);
-    }
+    fs.plan_into(h->file, elem, take, plan_scratch_);
     remaining -= take;
   }
-  for (auto& [io, accesses] : per_io) {
+  const auto io_count = static_cast<std::size_t>(runtime_->io_node_count());
+  if (strided_groups_.size() < io_count) strided_groups_.resize(io_count);
+  for (auto& group : strided_groups_) group.clear();
+  for (const BlockAccess& a : plan_scratch_) {
+    strided_groups_[static_cast<std::size_t>(a.io_node)].push_back(a);
+  }
+  // Ascending I/O-node order, element order within a node — the same
+  // iteration order the ordered-map grouping produced.
+  for (std::size_t io = 0; io < io_count; ++io) {
+    const auto& accesses = strided_groups_[io];
+    if (accesses.empty()) continue;
     ++io_messages_;
     const MicroSec arrival =
-        start +
-        machine.compute_to_io(node_, io, params_.request_message_bytes);
-    IoNode& server = runtime_->io_node(io);
+        start + machine.compute_to_io(node_, static_cast<int>(io),
+                                      params_.request_message_bytes);
+    IoNode& server = runtime_->io_node(static_cast<int>(io));
     MicroSec served = arrival;
     std::int64_t node_bytes = 0;
     for (const BlockAccess& a : accesses) {
       served = std::max(served,
-                        server.serve_read(arrival, h.file, a.file_block,
+                        server.serve_read(arrival, h->file, a.file_block,
                                           a.disk_offset, a.bytes));
       node_bytes += a.bytes;
     }
     result.completed_at =
         std::max(result.completed_at,
-                 served + machine.compute_to_io(node_, io, node_bytes));
+                 served + machine.compute_to_io(node_, static_cast<int>(io),
+                                                node_bytes));
   }
   return result;
 }
 
 std::optional<std::int64_t> Client::seek(Fd fd, std::int64_t offset,
                                          Whence whence) {
-  const auto it = handles_.find(fd);
-  if (it == handles_.end()) return std::nullopt;
-  return runtime_->fs().seek(it->second.job, node_, it->second.file, offset,
-                             whence);
+  const Handle* h = find_handle(fd);
+  if (h == nullptr) return std::nullopt;
+  return runtime_->fs().seek(h->job, node_, h->file, offset, whence);
 }
 
 std::optional<std::int64_t> Client::close(Fd fd) {
-  const auto it = handles_.find(fd);
-  if (it == handles_.end()) return std::nullopt;
-  const auto size =
-      runtime_->fs().close(it->second.job, node_, it->second.file);
-  handles_.erase(it);
+  const Handle* h = find_handle(fd);
+  if (h == nullptr) return std::nullopt;
+  const auto size = runtime_->fs().close(h->job, node_, h->file);
+  handles_[static_cast<std::size_t>(fd - kFirstFd)] = Handle{};
+  --open_count_;
   return size;
 }
 
@@ -193,13 +205,13 @@ bool Client::unlink(JobId job, const std::string& path) {
 }
 
 FileId Client::file_of(Fd fd) const {
-  const auto it = handles_.find(fd);
-  return it == handles_.end() ? kNoFile : it->second.file;
+  const Handle* h = find_handle(fd);
+  return h == nullptr ? kNoFile : h->file;
 }
 
 JobId Client::job_of(Fd fd) const {
-  const auto it = handles_.find(fd);
-  return it == handles_.end() ? kNoJob : it->second.job;
+  const Handle* h = find_handle(fd);
+  return h == nullptr ? kNoJob : h->job;
 }
 
 }  // namespace charisma::cfs

@@ -12,7 +12,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "cfs/runtime.hpp"
 #include "cfs/types.hpp"
@@ -36,6 +36,11 @@ class Client {
   /// Opens `path`; on success the result's fd indexes this client's table.
   OpenResult open(JobId job, const std::string& path, std::uint8_t flags,
                   IoMode mode);
+  /// Data operations.  On failure (ok == false) the result carries the
+  /// error, zero bytes, and completed_at equal to the simulated time of the
+  /// call — a failed operation consumes no simulated time and never reports
+  /// a completion in the past or future (tests/cfs/client_test.cpp pins
+  /// this for bad descriptors and failed reservations).
   IoResult read(Fd fd, std::int64_t bytes);
   IoResult write(Fd fd, std::int64_t bytes);
   /// The paper's §5 recommendation, implemented: reads `count` elements of
@@ -55,7 +60,7 @@ class Client {
   [[nodiscard]] FileId file_of(Fd fd) const;
   [[nodiscard]] JobId job_of(Fd fd) const;
   [[nodiscard]] std::size_t open_files() const noexcept {
-    return handles_.size();
+    return open_count_;
   }
 
   /// Total messages this client sent to I/O nodes (ablation C input).
@@ -65,9 +70,21 @@ class Client {
 
  private:
   struct Handle {
-    FileId file = kNoFile;
+    FileId file = kNoFile;  // kNoFile marks a closed slot
     JobId job = kNoJob;
   };
+
+  static constexpr Fd kFirstFd = 3;  // 0..2 reserved, as in Unix
+
+  /// Live handle behind `fd`, or nullptr if unknown/closed.  Descriptors
+  /// are dense and never reused, so the table is a flat vector indexed by
+  /// fd - kFirstFd — no hashing on the per-operation path.
+  [[nodiscard]] const Handle* find_handle(Fd fd) const noexcept {
+    const auto idx = static_cast<std::size_t>(fd - kFirstFd);
+    if (fd < kFirstFd || idx >= handles_.size()) return nullptr;
+    const Handle& h = handles_[idx];
+    return h.file == kNoFile ? nullptr : &h;
+  }
 
   /// Prices the data movement of a granted reservation.
   MicroSec execute(const Handle& h, const Reservation& r, bool is_write);
@@ -75,9 +92,13 @@ class Client {
   Runtime* runtime_;
   NodeId node_;
   ClientParams params_;
-  std::unordered_map<Fd, Handle> handles_;
-  Fd next_fd_ = 3;  // 0..2 reserved, as in Unix
+  std::vector<Handle> handles_;  // indexed by fd - kFirstFd
+  std::size_t open_count_ = 0;
   std::uint64_t io_messages_ = 0;
+  // Reusable request-path scratch (see BlockPlan): cleared per operation,
+  // capacity retained, so steady-state operations do not allocate.
+  BlockPlan plan_scratch_;
+  std::vector<std::vector<BlockAccess>> strided_groups_;  // one per I/O node
 };
 
 }  // namespace charisma::cfs

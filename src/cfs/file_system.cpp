@@ -145,7 +145,14 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
     return r;
   }
   Session* s = find_session(job, file);
-  if (s == nullptr || s->node_offset.count(node) == 0) {
+  if (s == nullptr) {
+    r.error = "file not open by this node";
+    return r;
+  }
+  // One hash lookup serves the open-by-this-node check, the mode-0 pointer
+  // read, and the pointer advance below — this runs once per data op.
+  const auto node_it = s->node_offset.find(node);
+  if (node_it == s->node_offset.end()) {
     r.error = "file not open by this node";
     return r;
   }
@@ -162,7 +169,7 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
   std::int64_t offset = 0;
   switch (s->mode) {
     case IoMode::kIndependent:
-      offset = s->node_offset[node];
+      offset = node_it->second;
       break;
     case IoMode::kShared:
       offset = s->shared_offset;
@@ -194,7 +201,7 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
       const auto pos = static_cast<std::int64_t>(
           std::find(s->turn_order.begin(), s->turn_order.end(), node) -
           s->turn_order.begin());
-      auto& rounds = s->node_offset[node];  // reused as the round counter
+      auto& rounds = node_it->second;  // reused as the round counter
       const auto nodes = static_cast<std::int64_t>(s->turn_order.size());
       offset = (rounds * nodes + pos) * bytes;
       ++rounds;
@@ -229,7 +236,7 @@ Reservation FileSystem::reserve(JobId job, NodeId node, FileId file,
   // Advance the pointer that produced the offset.
   switch (s->mode) {
     case IoMode::kIndependent:
-      s->node_offset[node] = offset + (is_write ? bytes : granted);
+      node_it->second = offset + (is_write ? bytes : granted);
       break;
     case IoMode::kShared:
     case IoMode::kOrdered:
@@ -267,7 +274,12 @@ Reservation FileSystem::reserve_strided_read(JobId job, NodeId node,
     return r;
   }
   Session* s = find_session(job, file);
-  if (s == nullptr || s->node_offset.count(node) == 0) {
+  if (s == nullptr) {
+    r.error = "file not open by this node";
+    return r;
+  }
+  const auto node_it = s->node_offset.find(node);
+  if (node_it == s->node_offset.end()) {
     r.error = "file not open by this node";
     return r;
   }
@@ -280,7 +292,7 @@ Reservation FileSystem::reserve_strided_read(JobId job, NodeId node,
     return r;
   }
   const Inode& ino = inode(file);
-  const std::int64_t start = s->node_offset[node];
+  const std::int64_t start = node_it->second;
   std::int64_t granted = 0;
   std::int64_t end = start;
   for (std::int64_t k = 0; k < count; ++k) {
@@ -291,7 +303,7 @@ Reservation FileSystem::reserve_strided_read(JobId job, NodeId node,
     end = elem + take;
     if (take < record) break;  // clipped at EOF
   }
-  s->node_offset[node] = end;
+  node_it->second = end;
   r.ok = true;
   r.offset = start;
   r.bytes = granted;
@@ -319,21 +331,34 @@ std::optional<std::int64_t> FileSystem::seek(JobId job, NodeId node,
 
 std::vector<BlockAccess> FileSystem::plan(FileId file, std::int64_t offset,
                                           std::int64_t bytes) const {
+  BlockPlan scratch;
+  plan_into(file, offset, bytes, scratch);
+  return {scratch.begin(), scratch.end()};
+}
+
+void FileSystem::plan_into(FileId file, std::int64_t offset,
+                           std::int64_t bytes, BlockPlan& out) const {
   util::check(offset >= 0 && bytes >= 0, "bad plan range");
   const Inode& ino = inode(file);
   const std::int64_t bs = params_.block_size;
-  std::vector<BlockAccess> accesses;
   std::int64_t pos = offset;
   const std::int64_t end = offset + bytes;
+  if (pos >= end) return;
+  // Divide once for the first block; every later block advances by one, so
+  // the per-block work is add/compare only (this runs for every block of
+  // every simulated I/O operation).
+  std::int64_t block = pos / bs;
+  std::int64_t in_block = pos % bs;
+  const std::int64_t last_block = (end - 1) / bs;
+  out.reserve(out.size() + static_cast<std::size_t>(last_block - block + 1));
+  CHECK(last_block < static_cast<std::int64_t>(ino.block_addr.size()),
+        "plan for ", ino.path, " reaches block ", last_block, " but only ",
+        ino.block_addr.size(), " are allocated");
+  int io = static_cast<int>((ino.first_stripe + block) % params_.io_nodes);
   while (pos < end) {
-    const std::int64_t block = pos / bs;
-    const std::int64_t in_block = pos % bs;
     const std::int64_t len = std::min(end - pos, bs - in_block);
-    CHECK(block < static_cast<std::int64_t>(ino.block_addr.size()),
-          "plan for ", ino.path, " reaches block ", block, " but only ",
-          ino.block_addr.size(), " are allocated");
-    BlockAccess a;
-    a.io_node = static_cast<int>((ino.first_stripe + block) % params_.io_nodes);
+    BlockAccess& a = out.emplace_back();
+    a.io_node = io;
     a.disk_offset = ino.block_addr[static_cast<std::size_t>(block)] + in_block;
     // Stripe-unit alignment: the block's base address must sit on a 4 KB
     // boundary of its I/O node's disk.
@@ -342,10 +367,11 @@ std::vector<BlockAccess> FileSystem::plan(FileId file, std::int64_t offset,
            a.disk_offset - in_block);
     a.file_block = block;
     a.bytes = len;
-    accesses.push_back(a);
     pos += len;
+    ++block;
+    in_block = 0;
+    if (++io == params_.io_nodes) io = 0;
   }
-  return accesses;
 }
 
 std::optional<FileId> FileSystem::lookup(const std::string& path) const {

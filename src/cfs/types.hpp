@@ -54,6 +54,11 @@ enum OpenFlags : std::uint8_t {
 enum class Whence : std::uint8_t { kSet, kCurrent, kEnd };
 
 /// Result of a data operation, in the terms the tracer records.
+///
+/// Failure contract: when ok is false, `bytes` is 0, `extended_file` is
+/// false, and `completed_at` equals the simulated time the call was made —
+/// a failed operation consumes no simulated time, and callers must never
+/// see a stale or advanced timestamp on an error path.
 struct IoResult {
   bool ok = false;
   std::int64_t offset = 0;       // file offset the operation started at

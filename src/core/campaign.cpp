@@ -1,0 +1,166 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/analyzers.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charisma::core {
+
+namespace {
+
+/// The aggregated statistics, in report order.  A fixed table (not a map)
+/// keeps the aggregate order code-defined and hash-free.
+struct StatField {
+  const char* name;
+  double (*get)(const StudySummary&);
+};
+
+constexpr StatField kStatFields[] = {
+    {"events_dispatched",
+     [](const StudySummary& s) {
+       return static_cast<double>(s.events_dispatched);
+     }},
+    {"records", [](const StudySummary& s) {
+       return static_cast<double>(s.records);
+     }},
+    {"total_ops", [](const StudySummary& s) {
+       return static_cast<double>(s.total_ops);
+     }},
+    {"sim_end_seconds", [](const StudySummary& s) {
+       return static_cast<double>(s.sim_end) / 1e6;
+     }},
+    {"idle_fraction", [](const StudySummary& s) { return s.idle_fraction; }},
+    {"multiprogrammed_fraction",
+     [](const StudySummary& s) { return s.multiprogrammed_fraction; }},
+    {"single_node_job_fraction",
+     [](const StudySummary& s) { return s.single_node_job_fraction; }},
+    {"small_read_fraction",
+     [](const StudySummary& s) { return s.small_read_fraction; }},
+    {"small_write_fraction",
+     [](const StudySummary& s) { return s.small_write_fraction; }},
+    {"temporary_fraction",
+     [](const StudySummary& s) { return s.temporary_fraction; }},
+    {"mode0_fraction",
+     [](const StudySummary& s) { return s.mode0_fraction; }},
+};
+
+std::string format_scale(double scale) {
+  std::ostringstream os;
+  os << scale;
+  return os.str();
+}
+
+}  // namespace
+
+double AggregateStat::ci95_half_width() const noexcept {
+  if (summary.count() < 2) return 0.0;
+  return 1.96 * summary.stddev() /
+         std::sqrt(static_cast<double>(summary.count()));
+}
+
+StudySummary summarize_study(const std::string& label,
+                             const StudyConfig& config,
+                             const StudyOutput& output) {
+  StudySummary s;
+  s.label = label;
+  s.seed = config.workload.seed;
+  s.scale = config.workload.scale;
+  s.trace_digest = output.raw.digest();
+  s.events_dispatched = output.events_dispatched;
+  s.records = output.records;
+  s.total_ops = output.total_ops;
+  s.sim_end = output.sim_end;
+
+  // The serial SessionStore constructor on purpose: campaign workers
+  // already saturate the pool one study per thread, so nesting the
+  // parallel builder would only add contention.
+  const analysis::SessionStore store(output.sorted);
+  const auto concurrency = analysis::analyze_job_concurrency(store);
+  s.idle_fraction = concurrency.idle_fraction;
+  s.multiprogrammed_fraction = concurrency.multiprogrammed_fraction;
+  s.single_node_job_fraction =
+      analysis::analyze_node_counts(store).single_node_job_fraction;
+  const auto requests = analysis::analyze_request_sizes(output.sorted);
+  s.small_read_fraction = requests.small_read_fraction;
+  s.small_write_fraction = requests.small_write_fraction;
+  s.temporary_fraction =
+      analysis::analyze_file_population(store).temporary_fraction;
+  s.mode0_fraction = analysis::analyze_mode_usage(store).mode0_fraction;
+  return s;
+}
+
+std::vector<AggregateStat> aggregate_campaign(
+    const std::vector<StudySummary>& studies) {
+  std::vector<AggregateStat> out;
+  out.reserve(std::size(kStatFields));
+  for (const auto& field : kStatFields) {
+    AggregateStat stat;
+    stat.name = field.name;
+    for (const auto& s : studies) stat.summary.add(field.get(s));
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+CampaignResult CampaignRunner::run(
+    const std::vector<CampaignStudy>& studies) const {
+  CampaignResult result;
+  result.studies.resize(studies.size());
+  const auto run_one = [&](std::size_t i) {
+    const CampaignStudy& study = studies[i];
+    const StudyOutput output = run_study(study.config);
+    // Distinct indices: workers never touch the same slot, and the output
+    // order matches the input order whatever the schedule was.
+    result.studies[i] = summarize_study(study.label, study.config, output);
+  };
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < studies.size(); ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(options_.threads);
+    util::parallel_for(pool, studies.size(), run_one);
+  }
+  result.aggregates = aggregate_campaign(result.studies);
+  return result;
+}
+
+std::vector<CampaignStudy> seed_replications(const StudyConfig& base,
+                                             std::size_t n,
+                                             const std::string& prefix) {
+  std::vector<CampaignStudy> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CampaignStudy study;
+    study.config = base;
+    study.config.workload.seed = base.workload.seed + i;
+    study.label =
+        prefix + "seed" + std::to_string(study.config.workload.seed);
+    out.push_back(std::move(study));
+  }
+  return out;
+}
+
+std::vector<CampaignStudy> scale_sweep(
+    const StudyConfig& base, const std::vector<double>& scales,
+    const std::vector<std::uint64_t>& seeds) {
+  CHECK(!scales.empty() && !seeds.empty(),
+        "scale_sweep needs at least one scale and one seed");
+  std::vector<CampaignStudy> out;
+  out.reserve(scales.size() * seeds.size());
+  for (const double scale : scales) {
+    for (const std::uint64_t seed : seeds) {
+      CampaignStudy study;
+      study.config = base;
+      study.config.workload.scale = scale;
+      study.config.workload.seed = seed;
+      study.label = "scale" + format_scale(scale) + "_seed" +
+                    std::to_string(seed);
+      out.push_back(std::move(study));
+    }
+  }
+  return out;
+}
+
+}  // namespace charisma::core

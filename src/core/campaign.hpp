@@ -1,0 +1,110 @@
+// Campaign runner — fans a batch of independent studies over a thread pool.
+//
+// A "campaign" is the unit of experimentation above a single study: seed
+// replications for confidence intervals, scale sweeps, or configuration
+// variants.  Every study owns a private sim::Engine (the engine is
+// single-threaded by design), so studies parallelize perfectly; the runner
+// writes results by input index, which makes the output — including every
+// per-study trace digest — independent of the worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/stats.hpp"
+
+namespace charisma::core {
+
+/// One study in a campaign: a label for reports plus its full configuration.
+struct CampaignStudy {
+  std::string label;
+  StudyConfig config;
+};
+
+/// What a campaign keeps from each study: identity, the determinism anchor
+/// (trace digest), volume counters, and the headline paper statistics —
+/// each measured from the study's own trace by the analyzers, never echoed
+/// from the generator configuration.
+struct StudySummary {
+  std::string label;
+  std::uint64_t seed = 0;
+  double scale = 0.0;
+
+  std::uint64_t trace_digest = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t records = 0;
+  std::uint64_t total_ops = 0;
+  util::MicroSec sim_end = 0;
+
+  // Measured statistics (Figure 1, Figure 4, §4.2, §4.6 of the paper).
+  double idle_fraction = 0.0;
+  double multiprogrammed_fraction = 0.0;
+  double single_node_job_fraction = 0.0;
+  double small_read_fraction = 0.0;
+  double small_write_fraction = 0.0;
+  double temporary_fraction = 0.0;
+  double mode0_fraction = 0.0;
+};
+
+/// Cross-study aggregate of one statistic (normally across seed
+/// replications of a fixed configuration).
+struct AggregateStat {
+  std::string name;
+  util::Summary summary;
+
+  /// Half-width of the normal-approximation 95% confidence interval
+  /// (1.96 * stddev / sqrt(n)); 0 with fewer than two studies.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+};
+
+struct CampaignResult {
+  /// One entry per input study, in input order regardless of thread count.
+  std::vector<StudySummary> studies;
+  /// One entry per aggregated statistic, in a fixed (code-defined) order.
+  std::vector<AggregateStat> aggregates;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 picks the hardware concurrency, 1 runs the studies
+  /// inline on the calling thread (no pool).
+  std::size_t threads = 0;
+};
+
+/// Builds a StudySummary from a finished study (exposed for tests and for
+/// callers that already ran the study themselves).
+[[nodiscard]] StudySummary summarize_study(const std::string& label,
+                                           const StudyConfig& config,
+                                           const StudyOutput& output);
+
+/// Aggregates the numeric statistics across studies.
+[[nodiscard]] std::vector<AggregateStat> aggregate_campaign(
+    const std::vector<StudySummary>& studies);
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {})
+      : options_(options) {}
+
+  /// Runs every study and aggregates.  Deterministic in `studies`: the
+  /// same input yields byte-identical summaries (digests included) for any
+  /// thread count.
+  [[nodiscard]] CampaignResult run(
+      const std::vector<CampaignStudy>& studies) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// `n` copies of `base` differing only in workload seed (base.workload.seed,
+/// base.workload.seed + 1, ...), labelled "<prefix>seed<seed>".
+[[nodiscard]] std::vector<CampaignStudy> seed_replications(
+    const StudyConfig& base, std::size_t n, const std::string& prefix = "");
+
+/// One study per (scale, seed) pair, labelled "scale<scale>_seed<seed>".
+[[nodiscard]] std::vector<CampaignStudy> scale_sweep(
+    const StudyConfig& base, const std::vector<double>& scales,
+    const std::vector<std::uint64_t>& seeds);
+
+}  // namespace charisma::core

@@ -163,4 +163,38 @@ ExportResult export_figures(const StudyOutput& study,
   return result;
 }
 
+ExportResult export_campaign(const CampaignResult& campaign,
+                             const std::string& directory) {
+  ExportResult result;
+  result.directory = directory;
+  {
+    auto out = open_out(directory + "/campaign_studies.tsv");
+    out << "# label\tseed\tscale\tdigest\tevents\trecords\tops\t"
+           "sim_end_us\tidle\tmultiprog\tsingle_node\tsmall_read\t"
+           "small_write\ttemporary\tmode0\n";
+    for (const auto& s : campaign.studies) {
+      out << s.label << '\t' << s.seed << '\t' << s.scale << '\t' << std::hex
+          << "0x" << s.trace_digest << std::dec << '\t'
+          << s.events_dispatched << '\t' << s.records << '\t' << s.total_ops
+          << '\t' << s.sim_end << '\t' << s.idle_fraction << '\t'
+          << s.multiprogrammed_fraction << '\t'
+          << s.single_node_job_fraction << '\t' << s.small_read_fraction
+          << '\t' << s.small_write_fraction << '\t' << s.temporary_fraction
+          << '\t' << s.mode0_fraction << '\n';
+    }
+    ++result.files_written;
+  }
+  {
+    auto out = open_out(directory + "/campaign_aggregate.tsv");
+    out << "# stat\tn\tmean\tstddev\tmin\tmax\tci95_half\n";
+    for (const auto& a : campaign.aggregates) {
+      out << a.name << '\t' << a.summary.count() << '\t' << a.summary.mean()
+          << '\t' << a.summary.stddev() << '\t' << a.summary.min() << '\t'
+          << a.summary.max() << '\t' << a.ci95_half_width() << '\n';
+    }
+    ++result.files_written;
+  }
+  return result;
+}
+
 }  // namespace charisma::core

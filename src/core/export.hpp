@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/study.hpp"
 
 namespace charisma::core {
@@ -20,5 +21,13 @@ struct ExportResult {
 /// failure.
 ExportResult export_figures(const StudyOutput& study,
                             const std::string& directory);
+
+/// Writes campaign_studies.tsv (one row per study: identity, digest,
+/// counters, measured statistics) and campaign_aggregate.tsv (one row per
+/// statistic: n, mean, stddev, min, max, 95% CI half-width) into
+/// `directory` (created by the caller).  Throws std::runtime_error on I/O
+/// failure.
+ExportResult export_campaign(const CampaignResult& campaign,
+                             const std::string& directory);
 
 }  // namespace charisma::core

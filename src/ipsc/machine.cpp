@@ -33,6 +33,13 @@ Machine::Machine(sim::Engine& engine, const MachineConfig& config,
   for (int d = 0; d < config.io_nodes; ++d) {
     disks_.emplace_back(config.disk);
   }
+  // Spread taps evenly over the cube; computed once — compute_to_io runs
+  // for every request and reply message, so it must not re-derive this.
+  const NodeId stride = config.compute_nodes / config.io_nodes;
+  io_taps_.reserve(static_cast<std::size_t>(config.io_nodes));
+  for (int d = 0; d < config.io_nodes; ++d) {
+    io_taps_.push_back(static_cast<NodeId>(d) * (stride > 0 ? stride : 1));
+  }
 }
 
 const sim::DriftingClock& Machine::clock(NodeId node) const {
@@ -50,9 +57,7 @@ disk::Disk& Machine::disk(int io_node) {
 NodeId Machine::io_tap(int io_node) const {
   util::check(io_node >= 0 && io_node < config_.io_nodes,
               "I/O node out of range");
-  // Spread taps evenly over the cube.
-  const NodeId stride = config_.compute_nodes / config_.io_nodes;
-  return static_cast<NodeId>(io_node) * (stride > 0 ? stride : 1);
+  return io_taps_[static_cast<std::size_t>(io_node)];
 }
 
 MicroSec Machine::compute_to_compute(NodeId from, NodeId to,

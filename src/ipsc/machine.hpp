@@ -85,6 +85,7 @@ class Machine {
   net::MessageModel messages_;
   std::vector<sim::DriftingClock> clocks_;
   std::vector<disk::Disk> disks_;
+  std::vector<NodeId> io_taps_;  // tap node per I/O node, computed once
 };
 
 }  // namespace charisma::ipsc

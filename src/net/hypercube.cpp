@@ -27,18 +27,27 @@ bool Hypercube::are_neighbors(NodeId a, NodeId b) const {
 }
 
 std::vector<NodeId> Hypercube::route(NodeId from, NodeId to) const {
+  std::vector<NodeId> path;
+  path.reserve(static_cast<std::size_t>(hops(from, to)) + 1);
+  route_into(from, to, path);
+  return path;
+}
+
+int Hypercube::route_into(NodeId from, NodeId to,
+                          std::vector<NodeId>& out) const {
   util::check(contains(from) && contains(to), "node id out of range");
-  std::vector<NodeId> path{from};
+  out.clear();
+  out.push_back(from);
   NodeId cur = from;
   // E-cube: correct differing bits from the lowest dimension upward.
   for (int dim = 0; dim < dimension_; ++dim) {
     const NodeId bit = NodeId{1} << dim;
     if ((cur ^ to) & bit) {
       cur ^= bit;
-      path.push_back(cur);
+      out.push_back(cur);
     }
   }
-  return path;
+  return static_cast<int>(out.size()) - 1;
 }
 
 int Hypercube::dimension_for(NodeId nodes) {

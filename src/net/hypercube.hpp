@@ -25,13 +25,21 @@ class Hypercube {
     return n >= 0 && n < node_count();
   }
 
-  /// Number of links on the e-cube route (Hamming distance).
+  /// Number of links on the e-cube route (Hamming distance).  This is the
+  /// only routing query the timing model needs — MessageModel and the
+  /// machine's tap arithmetic all price messages from the hop count alone,
+  /// so no hot path ever materializes a route vector (see route()).
   [[nodiscard]] int hops(NodeId from, NodeId to) const;
   /// Neighbor across dimension `dim`.
   [[nodiscard]] NodeId neighbor(NodeId n, int dim) const;
   [[nodiscard]] bool are_neighbors(NodeId a, NodeId b) const;
-  /// Full e-cube route, endpoints included: from, ..., to.
+  /// Full e-cube route, endpoints included: from, ..., to.  Pre-reserves
+  /// exactly hops+1 entries.  Callers that only need the route length must
+  /// use hops() instead.
   [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
+  /// Allocation-free variant: clears `out` and writes the route into it,
+  /// reusing its capacity.  Returns the hop count (out.size() - 1).
+  int route_into(NodeId from, NodeId to, std::vector<NodeId>& out) const;
 
   /// Smallest dimension whose cube holds at least `nodes` nodes.
   static int dimension_for(NodeId nodes);

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
 
@@ -20,25 +21,33 @@ struct Earlier {
 
 // ---- BucketQueue -----------------------------------------------------------
 
-void Engine::BucketQueue::insert_in_window(Event ev) {
+void Engine::BucketQueue::insert_in_window(Event&& ev) {
   const auto idx = static_cast<std::size_t>((ev.at - window_start_) >>
                                             kBucketShift);
   DCHECK(idx < kBucketCount, "bucket index ", idx, " out of range");
   Bucket& b = buckets_[idx];
+  if (b.head >= b.events.size()) {
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
   // Keep [head, end) sorted by (at, seq).  seq grows monotonically, so the
-  // dominant schedule pattern (same or later timestamps) appends at the end
-  // and upper_bound finds that in O(log k) with zero moves.
-  const auto pos = std::upper_bound(
-      b.events.begin() + static_cast<std::ptrdiff_t>(b.head), b.events.end(),
-      std::make_pair(ev.at, ev.seq), Earlier{});
-  b.events.insert(pos, std::move(ev));
+  // dominant schedule pattern (same or later timestamps) appends at the
+  // end; test for that with one compare before paying for upper_bound.
+  if (b.events.empty() || !Earlier{}(std::make_pair(ev.at, ev.seq),
+                                     b.events.back())) {
+    b.events.push_back(std::move(ev));
+  } else {
+    const auto pos = std::upper_bound(
+        b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
+        b.events.end(), std::make_pair(ev.at, ev.seq), Earlier{});
+    b.events.insert(pos, std::move(ev));
+  }
   ++in_window_;
   // A peek may already have advanced the cursor past this bucket; pull it
   // back so the new event is not skipped.
   cursor_ = std::min(cursor_, idx);
 }
 
-void Engine::BucketQueue::push(Event ev) {
+void Engine::BucketQueue::push(Event&& ev) {
   if (ev.at < window_start_ + kSpan) {
     // Engine::schedule_at guarantees ev.at >= now() >= window_start_.
     insert_in_window(std::move(ev));
@@ -65,12 +74,20 @@ void Engine::BucketQueue::migrate_overflow() {
   }
 }
 
+std::size_t Engine::BucketQueue::next_live_bucket(std::size_t from) const {
+  std::size_t w = from >> 6;
+  std::uint64_t word = occupied_[w] >> (from & 63);
+  if (word != 0) return from + static_cast<std::size_t>(std::countr_zero(word));
+  do {
+    ++w;
+    DCHECK(w < occupied_.size(), "window count out of sync");
+  } while (occupied_[w] == 0);
+  return (w << 6) + static_cast<std::size_t>(std::countr_zero(occupied_[w]));
+}
+
 bool Engine::BucketQueue::next_time(MicroSec* at) {
   if (in_window_ > 0) {
-    while (buckets_[cursor_].head >= buckets_[cursor_].events.size()) {
-      DCHECK(cursor_ + 1 < kBucketCount, "window count out of sync");
-      ++cursor_;
-    }
+    cursor_ = next_live_bucket(cursor_);
     const Bucket& b = buckets_[cursor_];
     *at = b.events[b.head].at;
     return true;
@@ -82,22 +99,25 @@ bool Engine::BucketQueue::next_time(MicroSec* at) {
   return false;
 }
 
-Engine::Event Engine::BucketQueue::pop() {
+Engine::Event* Engine::BucketQueue::front() {
   if (in_window_ == 0) migrate_overflow();
-  MicroSec ignored;
-  // The call advances cursor_ to the live bucket; it must run even with
-  // DCHECK compiled out.
-  [[maybe_unused]] const bool any = next_time(&ignored);
-  DCHECK(any, "pop() on an empty queue");
+  // migrate_overflow guarantees at least one in-window event, so the scan
+  // always lands on a live bucket.
+  cursor_ = next_live_bucket(cursor_);
   Bucket& b = buckets_[cursor_];
-  Event ev = std::move(b.events[b.head]);
+  return &b.events[b.head];
+}
+
+void Engine::BucketQueue::drop_front() {
+  Bucket& b = buckets_[cursor_];
+  DCHECK(b.head < b.events.size(), "drop_front() without a front event");
   ++b.head;
   --in_window_;
   if (b.head == b.events.size()) {
     b.events.clear();  // keeps capacity for the next window lap
     b.head = 0;
+    occupied_[cursor_ >> 6] &= ~(std::uint64_t{1} << (cursor_ & 63));
   }
-  return ev;
 }
 
 // ---- Engine ----------------------------------------------------------------
@@ -126,18 +146,26 @@ void Engine::schedule_in(MicroSec delay, Callback fn) {
 }
 
 bool Engine::step() {
-  Event ev;
   if (kind_ == QueueKind::kBucketed) {
     if (bucketed_.empty()) return false;
-    ev = bucketed_.pop();
-  } else {
-    if (heap_.empty()) return false;
-    // priority_queue::top is const; the callback must be moved out before
-    // pop.
-    ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    Event* ev = bucketed_.front();
+    // Monotone dispatch: simulated time never moves backwards.
+    CHECK(ev->at >= now_, "event at t=", ev->at,
+          " dispatched after now()=", now_);
+    now_ = ev->at;
+    ++dispatched_;
+    // Move only the callback out of the slot — the callback may schedule
+    // new events, which can reallocate the bucket the slot lives in.
+    Callback fn = std::move(ev->fn);
+    bucketed_.drop_front();
+    fn();
+    return true;
   }
-  // Monotone dispatch: simulated time never moves backwards.
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the callback must be moved out before
+  // pop.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
   CHECK(ev.at >= now_, "event at t=", ev.at, " dispatched after now()=", now_);
   now_ = ev.at;
   ++dispatched_;

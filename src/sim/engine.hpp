@@ -86,18 +86,28 @@ class Engine {
    public:
     static constexpr int kBucketShift = 7;  // 128 us per bucket
     static constexpr MicroSec kBucketWidth = MicroSec{1} << kBucketShift;
-    static constexpr std::size_t kBucketCount = 2048;
+    // Span = 2.1 s of simulated time.  The window must comfortably cover
+    // the workload's compute think times (hundreds of ms to ~1 s): every
+    // event scheduled past the window takes a round trip through the
+    // overflow binary heap, which costs more than the whole bucketed path.
+    // 16384 bucket headers are 512 KiB — noise next to a study's trace.
+    static constexpr std::size_t kBucketCount = 16384;
     static constexpr MicroSec kSpan =
         kBucketWidth * static_cast<MicroSec>(kBucketCount);
 
-    BucketQueue() : buckets_(kBucketCount) {}
+    BucketQueue()
+        : buckets_(kBucketCount), occupied_(kBucketCount / 64, 0) {}
 
-    void push(Event ev);
+    void push(Event&& ev);
     /// Earliest pending time; false when empty.  May advance the bucket
     /// cursor but never reorders or migrates events.
     [[nodiscard]] bool next_time(MicroSec* at);
-    /// Pops the (at, seq)-least event; queue must be non-empty.
-    [[nodiscard]] Event pop();
+    /// The (at, seq)-least event, left in place; queue must be non-empty.
+    /// The pointer is invalidated by any push — callers move the callback
+    /// out and call drop_front() before dispatching it.
+    [[nodiscard]] Event* front();
+    /// Removes the event front() returned; queue must be non-empty.
+    void drop_front();
     [[nodiscard]] std::size_t size() const noexcept {
       return in_window_ + overflow_.size();
     }
@@ -109,12 +119,20 @@ class Engine {
       std::size_t head = 0;
     };
 
-    void insert_in_window(Event ev);
+    void insert_in_window(Event&& ev);
     /// Rebases the window onto the earliest overflow event and moves every
     /// overflow event inside the new window into its bucket.
     void migrate_overflow();
 
+    /// Index of the first live bucket at or after `from`; in_window_ must
+    /// be non-zero.  One countr_zero step per 64 buckets, so sparse windows
+    /// (an event, then hundreds of empty buckets of think time) cost a few
+    /// word loads instead of a per-bucket walk.
+    [[nodiscard]] std::size_t next_live_bucket(std::size_t from) const;
+
     std::vector<Bucket> buckets_;
+    /// Bit b set iff buckets_[b] has pending events (head < events.size()).
+    std::vector<std::uint64_t> occupied_;
     std::vector<Event> overflow_;  // min-heap under Later
     MicroSec window_start_ = 0;    // multiple of kBucketWidth
     std::size_t cursor_ = 0;       // no non-empty bucket before this index

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -23,8 +24,10 @@ namespace charisma::sim {
 class InlineCallback {
  public:
   /// Capture budget chosen to fit the driver's step closures (a pointer, a
-  /// shared_ptr, an index) with headroom; see docs/performance.md.
-  static constexpr std::size_t kInlineSize = 48;
+  /// shared_ptr, an index) with headroom, while keeping the engine's Event
+  /// (at + seq + callback) at exactly one 64-byte cache line; see
+  /// docs/performance.md.
+  static constexpr std::size_t kInlineSize = 40;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
   InlineCallback() noexcept = default;
@@ -45,8 +48,7 @@ class InlineCallback {
 
   InlineCallback(InlineCallback&& other) noexcept : vtable_(other.vtable_) {
     if (vtable_ != nullptr) {
-      vtable_->relocate(buffer_, other.buffer_);
-      other.vtable_ = nullptr;
+      relocate_from(other);
     }
   }
 
@@ -55,8 +57,7 @@ class InlineCallback {
     reset();
     if (other.vtable_ != nullptr) {
       vtable_ = other.vtable_;
-      vtable_->relocate(buffer_, other.buffer_);
-      other.vtable_ = nullptr;
+      relocate_from(other);
     }
     return *this;
   }
@@ -88,6 +89,16 @@ class InlineCallback {
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* target) noexcept;
     bool inline_storage;
+    /// Relocation is equivalent to memcpy-ing the buffer: the target is a
+    /// trivially copyable inline capture, or a heap pointer.  The dominant
+    /// event closures capture only pointers and indices, so the queues'
+    /// element shuffling (bucket inserts, heap sifts, pops) takes a branch
+    /// plus a fixed-size copy instead of an indirect call per move.
+    bool trivially_relocatable;
+    /// Destruction is a no-op (inline, trivially destructible target), so
+    /// reset() — which runs once per dispatched event — can skip the
+    /// indirect destroy call.
+    bool trivially_destructible;
   };
 
   // Inline storage additionally requires a nothrow move so relocation (used
@@ -106,6 +117,8 @@ class InlineCallback {
       },
       [](void* t) noexcept { static_cast<D*>(t)->~D(); },
       /*inline_storage=*/true,
+      /*trivially_relocatable=*/std::is_trivially_copyable_v<D>,
+      /*trivially_destructible=*/std::is_trivially_destructible_v<D>,
   };
 
   template <typename D>
@@ -116,13 +129,28 @@ class InlineCallback {
       },
       [](void* t) noexcept { delete *static_cast<D**>(t); },
       /*inline_storage=*/false,
+      /*trivially_relocatable=*/true,  // relocation moves only the pointer
+      /*trivially_destructible=*/false,  // must delete the heap target
   };
 
   void reset() noexcept {
     if (vtable_ != nullptr) {
-      vtable_->destroy(buffer_);
+      if (!vtable_->trivially_destructible) vtable_->destroy(buffer_);
       vtable_ = nullptr;
     }
+  }
+
+  /// Takes other's target; vtable_ must already equal other.vtable_ (and be
+  /// non-null).  Copying the full buffer keeps the memcpy length a compile
+  /// time constant; the tail beyond the target's size is dead bytes of our
+  /// own storage.
+  void relocate_from(InlineCallback& other) noexcept {
+    if (vtable_->trivially_relocatable) {
+      std::memcpy(buffer_, other.buffer_, kInlineSize);
+    } else {
+      vtable_->relocate(buffer_, other.buffer_);
+    }
+    other.vtable_ = nullptr;
   }
 
   alignas(kInlineAlign) unsigned char buffer_[kInlineSize];

@@ -11,13 +11,12 @@ Collector::Collector(ipsc::Machine& machine, CollectorParams params)
   trace_.header.io_nodes = machine.io_nodes();
   trace_.header.block_size = util::kBlockSize;
   trace_.header.trace_start = machine.engine().now();
-}
-
-std::size_t Collector::records_per_buffer() const noexcept {
-  if (!params_.buffer_on_nodes) return 1;
-  const auto n = static_cast<std::size_t>(params_.node_buffer_bytes) /
-                 Record::kEncodedSize;
-  return n == 0 ? 1 : n;
+  // Derived once: append() consults this on every record.
+  if (params_.buffer_on_nodes) {
+    const auto n = static_cast<std::size_t>(params_.node_buffer_bytes) /
+                   Record::kEncodedSize;
+    records_per_buffer_ = n == 0 ? 1 : n;
+  }
 }
 
 void Collector::append(Record record) {

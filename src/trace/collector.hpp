@@ -66,11 +66,14 @@ class Collector {
     MicroSec last_timestamp = 0;
     bool any_records = false;
   };
-  [[nodiscard]] std::size_t records_per_buffer() const noexcept;
+  [[nodiscard]] std::size_t records_per_buffer() const noexcept {
+    return records_per_buffer_;
+  }
   void flush_node(NodeId node);
 
   ipsc::Machine* machine_;
   CollectorParams params_;
+  std::size_t records_per_buffer_ = 1;  // derived from params_ once
   std::vector<NodeBuffer> buffers_;  // per compute node
   TraceFile trace_;
   std::int64_t staged_bytes_ = 0;

@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 
+#include "util/check.hpp"
+
 namespace charisma::trace {
 
 MicroSec ClockFit::apply(MicroSec local) const noexcept {
@@ -57,17 +59,77 @@ SortedTrace postprocess(const TraceFile& trace) {
   SortedTrace out;
   out.header = trace.header;
   out.records.reserve(trace.record_count());
+
+  // The global sort is a stable k-way merge of one run per node, not a
+  // stable_sort over the whole array: the collector enforces monotone
+  // per-node record times, blocks land in trace.blocks in flush order, and
+  // ClockFit::apply is a monotone map, so each node's records — read across
+  // its blocks in order — are already sorted by (corrected time, position
+  // in the concatenated block stream).  Merging with that exact key yields
+  // the same output a stable_sort by corrected time would, in one pass
+  // instead of log(n) merge passes over every record.
+  struct Cursor {
+    // (block, concatenated offset of its first record), in flush order.
+    std::vector<std::pair<const TraceBlock*, std::size_t>> blocks;
+    std::size_t bi = 0;  // current block
+    std::size_t ri = 0;  // next record within it
+    const ClockFit* fit = nullptr;
+  };
+  // Ordered map: heap seeding below iterates (charisma-unordered-iter).
+  std::map<NodeId, Cursor> cursors;
+  std::size_t offset = 0;
   for (const auto& b : trace.blocks) {
-    const auto it = fits.find(b.node);
-    for (Record r : b.records) {
-      if (it != fits.end()) r.timestamp = it->second.apply(r.timestamp);
-      out.records.push_back(r);
+    if (!b.records.empty()) cursors[b.node].blocks.emplace_back(&b, offset);
+    offset += b.records.size();
+  }
+
+  struct Head {
+    MicroSec ts = 0;       // corrected timestamp of the cursor's record
+    std::size_t idx = 0;   // its concatenated position (stability key)
+    Cursor* cur = nullptr;
+  };
+  const auto later = [](const Head& a, const Head& b) noexcept {
+    return a.ts != b.ts ? a.ts > b.ts : a.idx > b.idx;
+  };
+  const auto head_of = [](Cursor& c) noexcept {
+    const auto& [block, start] = c.blocks[c.bi];
+    const Record& r = block->records[c.ri];
+    const MicroSec ts =
+        c.fit != nullptr ? c.fit->apply(r.timestamp) : r.timestamp;
+    return Head{ts, start + c.ri, &c};
+  };
+
+  std::vector<Head> heap;
+  heap.reserve(cursors.size());
+  for (auto& [node, c] : cursors) {
+    const auto it = fits.find(node);
+    c.fit = it == fits.end() ? nullptr : &it->second;
+    heap.push_back(head_of(c));
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Head h = heap.back();
+    heap.pop_back();
+    Cursor& c = *h.cur;
+    const TraceBlock* block = c.blocks[c.bi].first;
+    Record r = block->records[c.ri];
+    r.timestamp = h.ts;
+    out.records.push_back(r);
+    if (++c.ri == block->records.size()) {
+      c.ri = 0;
+      ++c.bi;
+    }
+    if (c.bi < c.blocks.size()) {
+      const Head next = head_of(c);
+      DCHECK(next.ts >= h.ts, "node ", block->node,
+             " produced non-monotone corrected times: ", next.ts, " after ",
+             h.ts);
+      heap.push_back(next);
+      std::push_heap(heap.begin(), heap.end(), later);
     }
   }
-  std::stable_sort(out.records.begin(), out.records.end(),
-                   [](const Record& a, const Record& b) {
-                     return a.timestamp < b.timestamp;
-                   });
   return out;
 }
 

@@ -1,0 +1,178 @@
+// A vector with inline storage for the first N elements.
+//
+// The CFS request path builds a short-lived block plan for every read and
+// write; a std::vector there means one malloc/free per simulated I/O
+// operation.  SmallVector keeps the common small case (requests under a few
+// blocks) entirely inside the owning object, and — combined with clear()
+// retaining heap capacity — makes a reused scratch buffer allocation-free in
+// steady state even for large requests.
+//
+// Deliberately minimal: exactly the operations the hot paths need
+// (push_back / emplace_back / clear / reserve / iteration / indexing), no
+// insert/erase, no allocator parameter.  Move-constructing relocates heap
+// storage by pointer swap and inline storage element by element.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace charisma::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be at least one element");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "elements relocate on growth; a throwing move could "
+                "half-move the buffer");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept : data_(inline_data()), capacity_(N) {}
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    reserve(other.size_);
+    for (const T& v : other) push_back(v);
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    adopt(std::move(other));
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (const T& v : other) push_back(v);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+    adopt(std::move(other));
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while the elements still live inside the object itself.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return data_ == inline_data();
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data_[0]; }
+  [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow_to(wanted);
+  }
+
+  /// Destroys the elements but keeps the storage (inline or heap), so a
+  /// reused scratch buffer stops allocating once its high-water capacity is
+  /// reached.
+  void clear() noexcept {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() noexcept {
+    DCHECK(size_ > 0, "pop_back on empty SmallVector");
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  [[nodiscard]] const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow_to(std::size_t wanted) {
+    const std::size_t new_capacity = wanted < 2 * N ? 2 * N : wanted;
+    T* fresh = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+    }
+    std::destroy_n(data_, size_);
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  /// Steals `other`'s contents; *this must be empty and inline.
+  void adopt(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  /// Destroys elements and frees heap storage (used by dtor / move-assign).
+  void release() noexcept {
+    clear();
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace charisma::util

@@ -140,8 +140,8 @@ void Driver::step(JobRun* run, std::int32_t rank) {
     return run->paths[static_cast<std::size_t>(idx)];
   };
   const auto fd_of = [&](std::int32_t idx) {
-    const auto it = nr.fds.find(idx);
-    return it == nr.fds.end() ? cfs::kBadFd : it->second;
+    const auto i = static_cast<std::size_t>(idx);
+    return i < nr.fds.size() ? nr.fds[i] : cfs::kBadFd;
   };
 
   MicroSec next_at = engine.now();
@@ -154,7 +154,9 @@ void Driver::step(JobRun* run, std::int32_t rank) {
       const auto r = nr.client->open(run->spec->job, path_of(op.path),
                                      op.flags, op.mode);
       if (r.ok) {
-        nr.fds[op.path] = r.fd;
+        const auto i = static_cast<std::size_t>(op.path);
+        if (nr.fds.size() <= i) nr.fds.resize(i + 1, cfs::kBadFd);
+        nr.fds[i] = r.fd;
         next_at = r.completed_at;
       } else {
         ++result.io_errors;
@@ -183,10 +185,10 @@ void Driver::step(JobRun* run, std::int32_t rank) {
       break;
     }
     case OpKind::kClose: {
-      const auto it = nr.fds.find(op.path);
-      if (it != nr.fds.end()) {
-        nr.client->close(it->second);
-        nr.fds.erase(it);
+      const cfs::Fd fd = fd_of(op.path);
+      if (fd != cfs::kBadFd) {
+        nr.client->close(fd);
+        nr.fds[static_cast<std::size_t>(op.path)] = cfs::kBadFd;
       } else {
         ++result.io_errors;
       }

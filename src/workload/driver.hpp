@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cfs/client.hpp"
@@ -63,7 +62,10 @@ class Driver {
     std::uint64_t retries = 0;
     std::uint64_t backoff = 0;
     std::size_t barriers_passed = 0;
-    std::unordered_map<std::int32_t, cfs::Fd> fds;  // path index -> fd
+    // path index -> fd.  Path indexes are small and dense per job, so a
+    // flat vector (kBadFd = closed/never opened) replaces a hash lookup on
+    // the per-operation path.
+    std::vector<cfs::Fd> fds;
   };
   struct Barrier {
     std::int32_t arrived = 0;

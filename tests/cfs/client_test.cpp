@@ -57,6 +57,48 @@ TEST_F(ClientTest, BadFdIsAnError) {
   EXPECT_EQ(c.job_of(42), kNoJob);
 }
 
+TEST_F(ClientTest, FailedOpsReportCallTimeAndZeroBytes) {
+  // The error contract (client.hpp): a failed operation consumes no
+  // simulated time — completed_at is the call time, never a stale value
+  // from an earlier operation and never a future completion.
+  Client c(runtime_, 0);
+  const auto open = c.open(1, "f", kRead | kWrite | kCreate,
+                           IoMode::kIndependent);
+  ASSERT_TRUE(open.ok);
+  const auto w = c.write(open.fd, 50000);
+  ASSERT_TRUE(w.ok);
+  ASSERT_GT(w.completed_at, engine_.now());
+  // Move simulated time off zero so a zeroed/stale timestamp is visible.
+  engine_.run_until(w.completed_at + 1000);
+  const auto t = engine_.now();
+  ASSERT_GT(t, 0);
+
+  for (const IoResult& r :
+       {c.read(999, 10), c.write(999, 10), c.read_strided(999, 100, 10, 2),
+        c.read_strided(open.fd, 0, 10, 2)}) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.bytes, 0);
+    EXPECT_EQ(r.completed_at, t);
+  }
+}
+
+TEST_F(ClientTest, FailedReservationReportsCallTime) {
+  // Reservation-level failure (not just a bad descriptor): a write-only
+  // file rejects reads after the fd lookup succeeded.
+  Client c(runtime_, 0);
+  const auto open = c.open(1, "wo", kWrite | kCreate, IoMode::kIndependent);
+  ASSERT_TRUE(open.ok);
+  engine_.run_until(7777);
+  const auto r = c.read(open.fd, 10);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.bytes, 0);
+  EXPECT_EQ(r.completed_at, engine_.now());
+  const auto rs = c.read_strided(open.fd, 100, 100, 2);
+  EXPECT_FALSE(rs.ok);
+  EXPECT_EQ(rs.bytes, 0);
+  EXPECT_EQ(rs.completed_at, engine_.now());
+}
+
 TEST_F(ClientTest, SeekRepositionsReads) {
   Client c(runtime_, 0);
   const auto open =

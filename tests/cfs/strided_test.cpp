@@ -55,10 +55,20 @@ TEST_F(StridedTest, UsesOneMessagePerIoNodeNotPerElement) {
   const auto before = client_.io_messages();
   const auto r = client_.read_strided(fd_, 100, 400, 20);
   ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.bytes, 20 * 100);
   const auto messages = client_.io_messages() - before;
-  // 20 sub-block elements, but the tiny machine has only 2 I/O nodes.
-  EXPECT_LE(messages, 2u);
-  EXPECT_GE(messages, 1u);
+  // 20 sub-block elements spanning blocks 0..2, declustered over the tiny
+  // machine's 2 I/O nodes: exactly one request message per involved node.
+  EXPECT_EQ(messages, 2u);
+}
+
+TEST_F(StridedTest, PatternWithinOneBlockUsesOneMessage) {
+  const auto before = client_.io_messages();
+  // 5 elements inside block 0 (offsets 0..95): one I/O node involved.
+  const auto r = client_.read_strided(fd_, 10, 10, 5);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.bytes, 50);
+  EXPECT_EQ(client_.io_messages() - before, 1u);
 }
 
 TEST_F(StridedTest, ClipsAtEof) {

@@ -1,0 +1,135 @@
+// Campaign runner tests: the parallel fan-out must be invisible in the
+// results — same studies, same digests, same aggregates, any thread count.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace charisma::core {
+namespace {
+
+StudyConfig smoke_base() {
+  StudyConfig config;
+  config.workload = workload::WorkloadConfig::smoke();
+  return config;
+}
+
+std::vector<CampaignStudy> four_studies() {
+  return scale_sweep(smoke_base(), {0.01, 0.02}, {7, 8});
+}
+
+TEST(CampaignTest, ThreadCountDoesNotChangeResults) {
+  const auto studies = four_studies();
+  const CampaignRunner serial(CampaignOptions{.threads = 1});
+  const CampaignRunner parallel(CampaignOptions{.threads = 4});
+  const CampaignResult a = serial.run(studies);
+  const CampaignResult b = parallel.run(studies);
+
+  ASSERT_EQ(a.studies.size(), studies.size());
+  ASSERT_EQ(b.studies.size(), studies.size());
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    SCOPED_TRACE(studies[i].label);
+    EXPECT_EQ(a.studies[i].label, b.studies[i].label);
+    EXPECT_EQ(a.studies[i].label, studies[i].label);
+    EXPECT_EQ(a.studies[i].seed, b.studies[i].seed);
+    EXPECT_EQ(a.studies[i].scale, b.studies[i].scale);
+    // The determinism anchor: byte-identical traces per study.
+    EXPECT_EQ(a.studies[i].trace_digest, b.studies[i].trace_digest);
+    EXPECT_EQ(a.studies[i].events_dispatched, b.studies[i].events_dispatched);
+    EXPECT_EQ(a.studies[i].records, b.studies[i].records);
+    EXPECT_EQ(a.studies[i].total_ops, b.studies[i].total_ops);
+    EXPECT_EQ(a.studies[i].sim_end, b.studies[i].sim_end);
+    EXPECT_EQ(a.studies[i].idle_fraction, b.studies[i].idle_fraction);
+    EXPECT_EQ(a.studies[i].multiprogrammed_fraction,
+              b.studies[i].multiprogrammed_fraction);
+    EXPECT_EQ(a.studies[i].small_read_fraction,
+              b.studies[i].small_read_fraction);
+    EXPECT_EQ(a.studies[i].mode0_fraction, b.studies[i].mode0_fraction);
+  }
+
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+  for (std::size_t i = 0; i < a.aggregates.size(); ++i) {
+    SCOPED_TRACE(a.aggregates[i].name);
+    EXPECT_EQ(a.aggregates[i].name, b.aggregates[i].name);
+    EXPECT_EQ(a.aggregates[i].summary.count(), b.aggregates[i].summary.count());
+    // Bitwise equality: each study's statistic is deterministic and the
+    // aggregation order is the input order, so the floating-point sums
+    // are reproducible exactly.
+    EXPECT_EQ(a.aggregates[i].summary.mean(), b.aggregates[i].summary.mean());
+    EXPECT_EQ(a.aggregates[i].summary.stddev(),
+              b.aggregates[i].summary.stddev());
+    EXPECT_EQ(a.aggregates[i].ci95_half_width(),
+              b.aggregates[i].ci95_half_width());
+  }
+}
+
+TEST(CampaignTest, DistinctSeedsYieldDistinctDigests) {
+  const CampaignRunner runner(CampaignOptions{.threads = 2});
+  const auto result =
+      runner.run(seed_replications(smoke_base(), 2));
+  ASSERT_EQ(result.studies.size(), 2u);
+  EXPECT_NE(result.studies[0].trace_digest, result.studies[1].trace_digest);
+  EXPECT_GT(result.studies[0].records, 0u);
+  EXPECT_GT(result.studies[1].records, 0u);
+}
+
+TEST(CampaignTest, SummariesCarryMeasuredFractions) {
+  const CampaignRunner runner(CampaignOptions{.threads = 1});
+  const auto result = runner.run(seed_replications(smoke_base(), 1));
+  ASSERT_EQ(result.studies.size(), 1u);
+  const StudySummary& s = result.studies[0];
+  for (const double f :
+       {s.idle_fraction, s.multiprogrammed_fraction,
+        s.single_node_job_fraction, s.small_read_fraction,
+        s.small_write_fraction, s.temporary_fraction, s.mode0_fraction}) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  // Mode 0 dominates the paper's workload; the smoke workload keeps that.
+  EXPECT_GT(s.mode0_fraction, 0.5);
+}
+
+TEST(CampaignTest, SeedReplicationsEnumerateSeeds) {
+  const auto studies = seed_replications(smoke_base(), 3, "rep_");
+  ASSERT_EQ(studies.size(), 3u);
+  const std::uint64_t base_seed = smoke_base().workload.seed;
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    EXPECT_EQ(studies[i].config.workload.seed, base_seed + i);
+    EXPECT_EQ(studies[i].label,
+              "rep_seed" + std::to_string(base_seed + i));
+  }
+}
+
+TEST(CampaignTest, ScaleSweepCrossesScalesAndSeeds) {
+  const auto studies = scale_sweep(smoke_base(), {0.01, 0.05}, {1, 2, 3});
+  ASSERT_EQ(studies.size(), 6u);
+  EXPECT_EQ(studies[0].label, "scale0.01_seed1");
+  EXPECT_EQ(studies[5].label, "scale0.05_seed3");
+  EXPECT_EQ(studies[3].config.workload.scale, 0.05);
+  EXPECT_EQ(studies[3].config.workload.seed, 1u);
+}
+
+TEST(CampaignTest, AggregateConfidenceInterval) {
+  std::vector<StudySummary> studies(4);
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    studies[i].idle_fraction = 0.2 + 0.1 * static_cast<double>(i);
+  }
+  const auto aggregates = aggregate_campaign(studies);
+  const AggregateStat* idle = nullptr;
+  for (const auto& a : aggregates) {
+    if (a.name == "idle_fraction") idle = &a;
+  }
+  ASSERT_NE(idle, nullptr);
+  EXPECT_EQ(idle->summary.count(), 4u);
+  EXPECT_NEAR(idle->summary.mean(), 0.35, 1e-12);
+  EXPECT_NEAR(idle->ci95_half_width(),
+              1.96 * idle->summary.stddev() / 2.0, 1e-12);
+
+  // A single study has no spread to estimate.
+  const auto one = aggregate_campaign({studies[0]});
+  for (const auto& a : one) EXPECT_EQ(a.ci95_half_width(), 0.0);
+}
+
+}  // namespace
+}  // namespace charisma::core

@@ -102,5 +102,36 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(64, 63), std::make_pair(100, 37),
                       std::make_pair(1, 2)));
 
+TEST(Hypercube, RouteIntoMatchesRoute) {
+  const Hypercube cube(7);
+  std::vector<NodeId> scratch;
+  for (const auto [from, to] :
+       {std::make_pair(0, 0), std::make_pair(0, 127), std::make_pair(5, 80),
+        std::make_pair(100, 37)}) {
+    const int hops = cube.route_into(from, to, scratch);
+    EXPECT_EQ(hops, cube.hops(from, to));
+    EXPECT_EQ(scratch, cube.route(from, to));
+  }
+}
+
+TEST(Hypercube, RouteIntoReusesCapacity) {
+  const Hypercube cube(7);
+  std::vector<NodeId> scratch;
+  (void)cube.route_into(0, 127, scratch);  // longest route: 8 entries
+  const auto cap = scratch.capacity();
+  ASSERT_GE(cap, 8u);
+  (void)cube.route_into(1, 2, scratch);  // shorter route, same buffer
+  EXPECT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch.capacity(), cap);
+}
+
+TEST(Hypercube, RoutePreReservesExactly) {
+  const Hypercube cube(7);
+  const auto path = cube.route(0, 127);
+  EXPECT_EQ(path.size(), 8u);
+  // route() reserves hops+1 up front, so no growth doubling happened.
+  EXPECT_EQ(path.capacity(), 8u);
+}
+
 }  // namespace
 }  // namespace charisma::net

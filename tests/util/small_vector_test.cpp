@@ -1,0 +1,121 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace charisma::util {
+namespace {
+
+TEST(SmallVector, StartsInlineAndEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.is_inline());
+}
+
+TEST(SmallVector, StaysInlineUpToN) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 30);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingElements) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, ClearKeepsHeapCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::size_t high_water = v.capacity();
+  ASSERT_GE(high_water, 100u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  // The whole point of the scratch-buffer pattern: no re-allocation on the
+  // next fill up to the high-water mark.
+  EXPECT_EQ(v.capacity(), high_water);
+  EXPECT_FALSE(v.is_inline());
+  for (int i = 0; i < 100; ++i) v.push_back(-i);
+  EXPECT_EQ(v.capacity(), high_water);
+  EXPECT_EQ(v.back(), -99);
+}
+
+TEST(SmallVector, NonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.emplace_back(5, 'x');
+  v.push_back("a rather long string that certainly heap-allocates");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], "xxxxx");
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, CopyAndMoveInline) {
+  SmallVector<std::string, 4> a;
+  a.push_back("one");
+  a.push_back("two");
+  SmallVector<std::string, 4> b(a);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], "two");
+
+  SmallVector<std::string, 4> c(std::move(a));
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], "one");
+  EXPECT_TRUE(c.is_inline());
+}
+
+TEST(SmallVector, MoveStealsHeapStorage) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  const int* heap = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), heap);  // pointer swap, not element copies
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_TRUE(a.is_inline());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+
+  SmallVector<int, 2> c;
+  c.push_back(7);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), heap);
+  EXPECT_EQ(c.size(), 50u);
+}
+
+TEST(SmallVector, CopyAssignReplacesContents) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b;
+  b.push_back(99);
+  b = a;
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[9], 9);
+}
+
+TEST(SmallVector, ReserveGrowsOnlyForward) {
+  SmallVector<int, 4> v;
+  v.reserve(2);
+  EXPECT_TRUE(v.is_inline());  // already covered by inline storage
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  const std::size_t cap = v.capacity();
+  v.reserve(10);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace charisma::util

@@ -1,0 +1,133 @@
+// charisma_campaign — runs a batch of studies (seed replications x scale
+// points) in parallel and reports per-study digests plus aggregate paper
+// statistics with 95% confidence intervals.
+//
+//   charisma_campaign [--seeds=42,43,44] [--scales=0.2] [--threads=N]
+//                     [--queue=bucketed|heap] [--smoke] [--out=DIR]
+//
+//   --seeds:   comma-separated workload seeds (default 42,43,44,45)
+//   --scales:  comma-separated workload scales (default 0.2)
+//   --threads: campaign worker threads; 0 = hardware concurrency,
+//              1 = serial (default 0)
+//   --smoke:   use the tiny smoke workload/machine (CI cross-checks)
+//   --out:     also write campaign_studies.tsv / campaign_aggregate.tsv
+//
+// The per-study digest lines are the determinism contract: CI runs the same
+// campaign at --threads=1 and --threads=2 and diffs the output.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/export.hpp"
+#include "util/flags.hpp"
+
+using namespace charisma;
+
+namespace {
+
+// Wall time is reporting-only (studies/min throughput), never simulation
+// input.
+using WallClock = std::chrono::steady_clock;  // NOLINT(charisma-wallclock)
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: charisma_campaign [--seeds=42,43] [--scales=0.2] "
+               "[--threads=N] [--queue=bucketed|heap] [--smoke] "
+               "[--out=DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"seeds", "scales", "threads", "queue", "smoke", "out"});
+  if (flags.remaining_argc() > 1) return usage();
+
+  std::vector<std::uint64_t> seeds;
+  for (const auto& s : split_list(flags.get("seeds", "42,43,44,45"))) {
+    seeds.push_back(std::strtoull(s.c_str(), nullptr, 10));
+  }
+  std::vector<double> scales;
+  for (const auto& s : split_list(flags.get("scales", "0.2"))) {
+    scales.push_back(std::strtod(s.c_str(), nullptr));
+  }
+  if (seeds.empty() || scales.empty()) return usage();
+
+  core::StudyConfig base;
+  if (flags.get_bool("smoke", false)) {
+    // Tiny workload for CI determinism cross-checks; --seeds/--scales still
+    // apply on top.
+    base.workload = workload::WorkloadConfig::smoke();
+  }
+  const std::string queue = flags.get("queue", "bucketed");
+  if (queue == "heap") {
+    base.queue = sim::QueueKind::kReferenceHeap;
+  } else if (queue != "bucketed") {
+    return usage();
+  }
+
+  const auto studies = core::scale_sweep(base, scales, seeds);
+  core::CampaignOptions options;
+  options.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  const core::CampaignRunner runner(options);
+
+  const auto start = WallClock::now();
+  const core::CampaignResult result = runner.run(studies);
+  const double seconds =
+      std::chrono::duration<double>(WallClock::now() - start).count();
+
+  for (const auto& s : result.studies) {
+    std::printf("study %-24s seed=%llu scale=%g digest=0x%016llx "
+                "events=%llu records=%llu ops=%llu\n",
+                s.label.c_str(), static_cast<unsigned long long>(s.seed),
+                s.scale, static_cast<unsigned long long>(s.trace_digest),
+                static_cast<unsigned long long>(s.events_dispatched),
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.total_ops));
+  }
+  std::printf("aggregate over %zu studies:\n", result.studies.size());
+  for (const auto& a : result.aggregates) {
+    std::printf("  %-26s mean=%.6g stddev=%.6g ci95=+-%.6g min=%.6g "
+                "max=%.6g\n",
+                a.name.c_str(), a.summary.mean(), a.summary.stddev(),
+                a.ci95_half_width(), a.summary.min(), a.summary.max());
+  }
+  const std::size_t effective_threads =
+      options.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.threads;
+  std::printf("campaign: %zu studies, %zu threads, %.2f s wall, "
+              "%.2f studies/min\n",
+              result.studies.size(), effective_threads, seconds,
+              seconds > 0 ? 60.0 * static_cast<double>(
+                                       result.studies.size()) / seconds
+                          : 0.0);
+
+  if (flags.has("out")) {
+    const auto exported =
+        core::export_campaign(result, flags.get("out", "."));
+    std::printf("wrote %d campaign files to %s\n", exported.files_written,
+                exported.directory.c_str());
+  }
+  return 0;
+}
