@@ -1,9 +1,9 @@
 #include "core/campaign.hpp"
 
-#include <cmath>
 #include <sstream>
 
 #include "analysis/analyzers.hpp"
+#include "cache/simulators.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,17 +53,56 @@ std::string format_scale(double scale) {
   return os.str();
 }
 
+/// The cache figures (8/9), appended to the trace-derived figure set.  These
+/// replay the trace through the cache simulators serially: campaign workers
+/// already saturate the pool one study per thread.
+void append_cache_figures(analysis::FigureSet& set, const StudyOutput& output,
+                          const std::set<cache::SessionKey>& read_only) {
+  const auto fracs = analysis::fraction_grid();
+  const auto sample_hit_rates = [&](std::size_t buffers_per_node) {
+    cache::ComputeCacheConfig cfg;
+    cfg.buffers_per_node = buffers_per_node;
+    const auto r =
+        cache::simulate_compute_cache(output.sorted, read_only, cfg);
+    std::vector<double> ys;
+    ys.reserve(fracs.size());
+    for (double x : fracs) ys.push_back(r.hit_rate_cdf.at(x));
+    return ys;
+  };
+  set.add("fig8_1buf", fracs, sample_hit_rates(1));
+  set.add("fig8_50buf", fracs, sample_hit_rates(50));
+
+  const auto buffers = analysis::fig9_buffer_grid();
+  std::vector<double> lru, fifo;
+  lru.reserve(buffers.size());
+  fifo.reserve(buffers.size());
+  for (const double b : buffers) {
+    cache::IoNodeSimConfig cfg;
+    cfg.io_nodes =
+        output.raw.header.io_nodes > 0 ? output.raw.header.io_nodes : 10;
+    cfg.total_buffers = static_cast<std::size_t>(b);
+    cfg.policy = cache::Policy::kLru;
+    lru.push_back(
+        cache::simulate_io_cache(output.sorted, read_only, cfg).hit_rate);
+    cfg.policy = cache::Policy::kFifo;
+    fifo.push_back(
+        cache::simulate_io_cache(output.sorted, read_only, cfg).hit_rate);
+  }
+  set.add("fig9_lru", buffers, std::move(lru));
+  set.add("fig9_fifo", buffers, std::move(fifo));
+}
+
 }  // namespace
 
 double AggregateStat::ci95_half_width() const noexcept {
-  if (summary.count() < 2) return 0.0;
-  return 1.96 * summary.stddev() /
-         std::sqrt(static_cast<double>(summary.count()));
+  // Delegates to the shared helper, which is defined (zero-width, never
+  // NaN) for every replication count including n = 0 and n = 1.
+  return util::ci95_half_width(summary);
 }
 
 StudySummary summarize_study(const std::string& label,
                              const StudyConfig& config,
-                             const StudyOutput& output) {
+                             const StudyOutput& output, bool with_figures) {
   StudySummary s;
   s.label = label;
   s.seed = config.workload.seed;
@@ -89,7 +128,21 @@ StudySummary summarize_study(const std::string& label,
   s.temporary_fraction =
       analysis::analyze_file_population(store).temporary_fraction;
   s.mode0_fraction = analysis::analyze_mode_usage(store).mode0_fraction;
+
+  if (with_figures) {
+    s.figures = analysis::collect_trace_figures(
+        store, output.sorted, output.raw.header.block_size);
+    append_cache_figures(s.figures, output, store.read_only_sessions());
+  }
   return s;
+}
+
+std::vector<analysis::FigureEnvelope> fold_figure_envelopes(
+    const std::vector<StudySummary>& studies) {
+  std::vector<const analysis::FigureSet*> sets;
+  sets.reserve(studies.size());
+  for (const auto& s : studies) sets.push_back(&s.figures);
+  return analysis::fold_envelopes(sets);
 }
 
 std::vector<AggregateStat> aggregate_campaign(
@@ -114,7 +167,8 @@ CampaignResult CampaignRunner::run(
     const StudyOutput output = run_study(study.config);
     // Distinct indices: workers never touch the same slot, and the output
     // order matches the input order whatever the schedule was.
-    result.studies[i] = summarize_study(study.label, study.config, output);
+    result.studies[i] = summarize_study(study.label, study.config, output,
+                                        options_.collect_figures);
   };
   if (options_.threads == 1) {
     for (std::size_t i = 0; i < studies.size(); ++i) run_one(i);
@@ -123,6 +177,9 @@ CampaignResult CampaignRunner::run(
     util::parallel_for(pool, studies.size(), run_one);
   }
   result.aggregates = aggregate_campaign(result.studies);
+  if (options_.collect_figures) {
+    result.figure_envelopes = fold_figure_envelopes(result.studies);
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/figures.hpp"
 #include "core/study.hpp"
 #include "util/stats.hpp"
 
@@ -46,6 +47,11 @@ struct StudySummary {
   double small_write_fraction = 0.0;
   double temporary_fraction = 0.0;
   double mode0_fraction = 0.0;
+
+  /// Per-figure curves sampled on fixed grids (Figures 4-9, Tables 1-3);
+  /// empty when the campaign ran with collect_figures off.  The campaign
+  /// folds these into pointwise envelope bands across replications.
+  analysis::FigureSet figures;
 };
 
 /// Cross-study aggregate of one statistic (normally across seed
@@ -64,22 +70,35 @@ struct CampaignResult {
   std::vector<StudySummary> studies;
   /// One entry per aggregated statistic, in a fixed (code-defined) order.
   std::vector<AggregateStat> aggregates;
+  /// One pointwise envelope per figure (mean / min / max / 95% CI across
+  /// the replications), in a fixed order; empty with collect_figures off.
+  std::vector<analysis::FigureEnvelope> figure_envelopes;
 };
 
 struct CampaignOptions {
   /// Worker threads; 0 picks the hardware concurrency, 1 runs the studies
   /// inline on the calling thread (no pool).
   std::size_t threads = 0;
+  /// Sample the per-figure curves for every study and fold envelope bands.
+  /// Off saves the analyzer + cache-replay passes for pure-throughput runs.
+  bool collect_figures = true;
 };
 
 /// Builds a StudySummary from a finished study (exposed for tests and for
-/// callers that already ran the study themselves).
+/// callers that already ran the study themselves).  `with_figures` also
+/// samples the per-figure curves (Figures 4-9, Tables 1-3).
 [[nodiscard]] StudySummary summarize_study(const std::string& label,
                                            const StudyConfig& config,
-                                           const StudyOutput& output);
+                                           const StudyOutput& output,
+                                           bool with_figures = true);
 
 /// Aggregates the numeric statistics across studies.
 [[nodiscard]] std::vector<AggregateStat> aggregate_campaign(
+    const std::vector<StudySummary>& studies);
+
+/// Folds every study's figure curves into per-figure envelopes, in study
+/// (= input) order, so the result is thread-count invariant.
+[[nodiscard]] std::vector<analysis::FigureEnvelope> fold_figure_envelopes(
     const std::vector<StudySummary>& studies);
 
 class CampaignRunner {

@@ -1,9 +1,11 @@
 #include "core/export.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "analysis/analyzers.hpp"
+#include "analysis/figures.hpp"
 #include "analysis/iorate.hpp"
 #include "cache/simulators.hpp"
 #include "util/histogram.hpp"
@@ -103,8 +105,8 @@ ExportResult export_figures(const StudyOutput& study,
   {  // Figure 9: hit rate vs buffers, LRU and FIFO.
     auto out = open_out(dir("fig9.tsv"));
     out << "# buffers\tlru\tfifo\n";
-    for (std::size_t buffers : {250u, 500u, 1000u, 2000u, 4000u, 8000u,
-                                16000u}) {
+    for (const double b : analysis::fig9_buffer_grid()) {
+      const auto buffers = static_cast<std::size_t>(b);
       cache::IoNodeSimConfig cfg;
       cfg.total_buffers = buffers;
       cfg.policy = cache::Policy::kLru;
@@ -167,6 +169,7 @@ ExportResult export_campaign(const CampaignResult& campaign,
                              const std::string& directory) {
   ExportResult result;
   result.directory = directory;
+  std::filesystem::create_directories(directory);
   {
     auto out = open_out(directory + "/campaign_studies.tsv");
     out << "# label\tseed\tscale\tdigest\tevents\trecords\tops\t"
@@ -191,6 +194,16 @@ ExportResult export_campaign(const CampaignResult& campaign,
       out << a.name << '\t' << a.summary.count() << '\t' << a.summary.mean()
           << '\t' << a.summary.stddev() << '\t' << a.summary.min() << '\t'
           << a.summary.max() << '\t' << a.ci95_half_width() << '\n';
+    }
+    ++result.files_written;
+  }
+  for (const auto& env : campaign.figure_envelopes) {
+    auto out = open_out(directory + "/campaign_" + env.name + ".tsv");
+    out << "# x\tmean\tmin\tmax\tci95_half\tn\n";
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      out << env.xs[i] << '\t' << env.mean[i] << '\t' << env.min[i] << '\t'
+          << env.max[i] << '\t' << env.ci95_half[i] << '\t'
+          << env.replications << '\n';
     }
     ++result.files_written;
   }

@@ -23,10 +23,12 @@ ExportResult export_figures(const StudyOutput& study,
                             const std::string& directory);
 
 /// Writes campaign_studies.tsv (one row per study: identity, digest,
-/// counters, measured statistics) and campaign_aggregate.tsv (one row per
-/// statistic: n, mean, stddev, min, max, 95% CI half-width) into
-/// `directory` (created by the caller).  Throws std::runtime_error on I/O
-/// failure.
+/// counters, measured statistics), campaign_aggregate.tsv (one row per
+/// statistic: n, mean, stddev, min, max, 95% CI half-width), and — when the
+/// campaign collected figures — one campaign_<figure>.tsv per figure
+/// envelope (x, mean, min, max, 95% CI half-width, n per grid row) into
+/// `directory` (created by the caller).  Byte-identical for any campaign
+/// worker-thread count.  Throws std::runtime_error on I/O failure.
 ExportResult export_campaign(const CampaignResult& campaign,
                              const std::string& directory);
 

@@ -16,10 +16,17 @@ void Summary::add(double x) noexcept {
 }
 
 double Summary::variance() const noexcept {
-  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  // m2_ is nonnegative in exact arithmetic but can round a hair below zero
+  // after merge(); clamp so stddev() never goes NaN.
+  return n_ > 1 ? std::max(0.0, m2_) / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ci95_half_width(const Summary& s) noexcept {
+  if (s.count() < 2) return 0.0;
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
 
 void Summary::merge(const Summary& other) noexcept {
   if (other.n_ == 0) return;

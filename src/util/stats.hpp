@@ -32,4 +32,11 @@ class Summary {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Half-width of the normal-approximation 95% confidence interval
+/// (1.96 * stddev / sqrt(n)).  Defined for every n: fewer than two samples
+/// have no spread to estimate, so the interval collapses to the zero-width
+/// [mean, mean] (never NaN) — campaign envelopes rely on that for
+/// single-replication runs.
+[[nodiscard]] double ci95_half_width(const Summary& s) noexcept;
+
 }  // namespace charisma::util

@@ -1,0 +1,180 @@
+// Campaign figure-envelope tests: the pointwise fold must be invisible to
+// the worker-thread count (byte-identical exported TSVs), collapse to a
+// zero-width band for a single replication, and stay NaN-free in every
+// degenerate shape (empty curves, curves missing from some replications).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "core/export.hpp"
+#include "util/check.hpp"
+
+namespace charisma::core {
+namespace {
+
+StudyConfig smoke_base() {
+  StudyConfig config;
+  config.workload = workload::WorkloadConfig::smoke();
+  return config;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+TEST(CampaignFigures, EnvelopeTsvsAreByteIdenticalAcrossThreadCounts) {
+  const auto studies = seed_replications(smoke_base(), 2);
+  const CampaignResult serial =
+      CampaignRunner(CampaignOptions{.threads = 1}).run(studies);
+  const CampaignResult parallel =
+      CampaignRunner(CampaignOptions{.threads = 4}).run(studies);
+
+  const std::string base = ::testing::TempDir() + "charisma_envelopes";
+  const std::string dir_a = base + "_serial";
+  const std::string dir_b = base + "_parallel";
+  std::filesystem::create_directories(dir_a);
+  std::filesystem::create_directories(dir_b);
+  const auto exported_a = export_campaign(serial, dir_a);
+  const auto exported_b = export_campaign(parallel, dir_b);
+  EXPECT_EQ(exported_a.files_written, exported_b.files_written);
+  // 2 campaign tables + 19 per-figure envelopes.
+  EXPECT_EQ(exported_a.files_written, 21);
+
+  std::size_t figure_tsvs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_a)) {
+    const auto name = entry.path().filename();
+    SCOPED_TRACE(name.string());
+    const std::string a = slurp(entry.path());
+    const std::string b = slurp(std::filesystem::path(dir_b) / name);
+    EXPECT_EQ(a, b);  // byte-identical, digests and float formatting included
+    EXPECT_GT(a.size(), 10u);
+    if (name.string().rfind("campaign_fig", 0) == 0 ||
+        name.string().rfind("campaign_table", 0) == 0) {
+      ++figure_tsvs;
+      EXPECT_EQ(a.find("nan"), std::string::npos);
+      EXPECT_EQ(a.find("inf"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(figure_tsvs, 19u);
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(CampaignFigures, EnvelopesMatchFigureCount) {
+  const CampaignResult result = CampaignRunner(CampaignOptions{.threads = 2})
+                                    .run(seed_replications(smoke_base(), 2));
+  ASSERT_EQ(result.figure_envelopes.size(), 19u);
+  for (const auto& env : result.figure_envelopes) {
+    SCOPED_TRACE(env.name);
+    EXPECT_EQ(env.replications, 2u);
+    ASSERT_EQ(env.mean.size(), env.xs.size());
+    ASSERT_EQ(env.min.size(), env.xs.size());
+    ASSERT_EQ(env.max.size(), env.xs.size());
+    ASSERT_EQ(env.ci95_half.size(), env.xs.size());
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(env.mean[i]));
+      EXPECT_TRUE(std::isfinite(env.ci95_half[i]));
+      EXPECT_LE(env.min[i], env.mean[i]);
+      EXPECT_LE(env.mean[i], env.max[i]);
+      EXPECT_GE(env.ci95_half[i], 0.0);
+    }
+  }
+}
+
+TEST(CampaignFigures, SingleReplicationCollapsesToZeroWidthBand) {
+  const CampaignResult result = CampaignRunner(CampaignOptions{.threads = 1})
+                                    .run(seed_replications(smoke_base(), 1));
+  ASSERT_FALSE(result.figure_envelopes.empty());
+  for (const auto& env : result.figure_envelopes) {
+    SCOPED_TRACE(env.name);
+    EXPECT_EQ(env.replications, 1u);
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      EXPECT_EQ(env.mean[i], env.min[i]);
+      EXPECT_EQ(env.mean[i], env.max[i]);
+      EXPECT_EQ(env.ci95_half[i], 0.0);  // defined zero-width interval
+    }
+  }
+}
+
+TEST(CampaignFigures, CollectFiguresOffSkipsTheFold) {
+  const CampaignResult result =
+      CampaignRunner(CampaignOptions{.threads = 1, .collect_figures = false})
+          .run(seed_replications(smoke_base(), 1));
+  EXPECT_TRUE(result.figure_envelopes.empty());
+  ASSERT_EQ(result.studies.size(), 1u);
+  EXPECT_TRUE(result.studies[0].figures.curves.empty());
+  // The scalar path is unaffected by skipping figures.
+  EXPECT_GT(result.studies[0].records, 0u);
+  EXPECT_FALSE(result.aggregates.empty());
+}
+
+TEST(CampaignFigures, EmptyFigureProducesNoNans) {
+  // An "empty figure" — a curve a degenerate workload produced no data for
+  // (all-zero samples) next to one with no grid at all — must fold into
+  // finite columns, never NaN.
+  analysis::FigureSet a, b;
+  a.add("empty_grid", {}, {});
+  b.add("empty_grid", {}, {});
+  a.add("zeros", {0.0, 1.0}, {0.0, 0.0});
+  b.add("zeros", {0.0, 1.0}, {0.0, 0.0});
+  a.add("only_in_a", {0.0, 1.0}, {0.25, 0.75});
+  const auto envelopes = analysis::fold_envelopes({&a, &b});
+  ASSERT_EQ(envelopes.size(), 3u);
+
+  EXPECT_EQ(envelopes[0].name, "empty_grid");
+  EXPECT_EQ(envelopes[0].size(), 0u);
+  EXPECT_EQ(envelopes[0].replications, 2u);
+
+  EXPECT_EQ(envelopes[1].name, "zeros");
+  for (std::size_t i = 0; i < envelopes[1].size(); ++i) {
+    EXPECT_EQ(envelopes[1].mean[i], 0.0);
+    EXPECT_EQ(envelopes[1].ci95_half[i], 0.0);
+    EXPECT_TRUE(std::isfinite(envelopes[1].min[i]));
+    EXPECT_TRUE(std::isfinite(envelopes[1].max[i]));
+  }
+
+  // A curve only one replication produced still gets a defined (n=1,
+  // zero-width) envelope.
+  EXPECT_EQ(envelopes[2].name, "only_in_a");
+  EXPECT_EQ(envelopes[2].replications, 1u);
+  EXPECT_EQ(envelopes[2].ci95_half[0], 0.0);
+  EXPECT_EQ(envelopes[2].mean[1], envelopes[2].max[1]);
+}
+
+TEST(CampaignFigures, MismatchedGridsAreRejected) {
+  analysis::FigureSet a, b;
+  a.add("curve", {0.0, 1.0}, {0.1, 0.9});
+  b.add("curve", {0.0, 2.0}, {0.1, 0.9});
+  EXPECT_THROW((void)analysis::fold_envelopes({&a, &b}), util::CheckFailure);
+}
+
+TEST(CampaignFigures, FoldOrderIsStudyOrderNotThreadOrder) {
+  // fold_figure_envelopes consumes summaries in input order, so the same
+  // studies always produce bitwise-identical envelopes.
+  const auto studies = seed_replications(smoke_base(), 3);
+  const CampaignResult a =
+      CampaignRunner(CampaignOptions{.threads = 1}).run(studies);
+  const CampaignResult b =
+      CampaignRunner(CampaignOptions{.threads = 3}).run(studies);
+  ASSERT_EQ(a.figure_envelopes.size(), b.figure_envelopes.size());
+  for (std::size_t f = 0; f < a.figure_envelopes.size(); ++f) {
+    const auto& ea = a.figure_envelopes[f];
+    const auto& eb = b.figure_envelopes[f];
+    EXPECT_EQ(ea.name, eb.name);
+    EXPECT_EQ(ea.xs, eb.xs);
+    EXPECT_EQ(ea.mean, eb.mean);  // bitwise: same fold order
+    EXPECT_EQ(ea.min, eb.min);
+    EXPECT_EQ(ea.max, eb.max);
+    EXPECT_EQ(ea.ci95_half, eb.ci95_half);
+  }
+}
+
+}  // namespace
+}  // namespace charisma::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/rng.hpp"
 
 namespace charisma::util {
@@ -123,6 +125,44 @@ TEST_P(CdfProperty, AtAgreesWithHistogramFraction) {
   for (std::int64_t x = -5; x <= 105; x += 7) {
     EXPECT_NEAR(cdf.at(static_cast<double>(x)), h.fraction_at_or_below(x),
                 1e-12);
+  }
+}
+
+TEST_P(CdfProperty, BoundedInUnitInterval) {
+  Rng rng(GetParam() ^ 0xb0);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(rng.normal(0.0, 1e6));
+  }
+  const Cdf cdf = Cdf::from_samples(samples);
+  for (double x = -4e6; x <= 4e6; x += 1.3e5) {
+    const double f = cdf.at(x);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_EQ(cdf.at(cdf.min() - 1.0), 0.0);
+  EXPECT_EQ(cdf.at(cdf.max()), 1.0);
+}
+
+TEST_P(CdfProperty, QuantileInverseRoundTrip) {
+  Rng rng(GetParam() ^ 0x77);
+  std::vector<double> samples;
+  for (int i = 0; i < 250; ++i) {
+    samples.push_back(static_cast<double>(rng.uniform_range(-500, 500)));
+  }
+  const Cdf cdf = Cdf::from_samples(samples);
+  // quantile(q) is the smallest sample with at least q mass at or below it:
+  // pushing it back through at() recovers at least q...
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double x = cdf.quantile(q);
+    EXPECT_GE(cdf.at(x), q);
+    // ...and any strictly smaller sample point has less than q mass.
+    EXPECT_LT(cdf.at(std::nexttoward(x, -1e9)), std::max(q, 1e-12));
+  }
+  // The other direction: quantile(at(x)) never lands above x for sample
+  // points (at(x) is exactly the mass at or below x).
+  for (const auto& p : cdf.points()) {
+    EXPECT_LE(cdf.quantile(p.cumulative_fraction), p.x);
   }
 }
 

@@ -53,6 +53,38 @@ TEST(Summary, StddevIsSqrtVariance) {
   EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
 }
 
+TEST(Ci95HalfWidth, DefinedForEveryCount) {
+  // Regression: fewer than two replications must yield a defined
+  // zero-width interval, never NaN — campaign aggregates and the
+  // per-figure envelope fold both ride on this.
+  Summary none;
+  EXPECT_EQ(ci95_half_width(none), 0.0);
+
+  Summary one;
+  one.add(0.37);
+  EXPECT_EQ(ci95_half_width(one), 0.0);
+  EXPECT_FALSE(std::isnan(ci95_half_width(one)));
+
+  Summary two;
+  two.add(1.0);
+  two.add(3.0);  // stddev = sqrt(2)
+  EXPECT_NEAR(ci95_half_width(two), 1.96 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(Summary, VarianceNeverGoesNegative) {
+  // Welford's m2 can round slightly below zero after merging summaries of
+  // near-identical values; stddev() must stay finite.
+  Summary a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.add(1.0 + 1e-15);
+    b.add(1.0 - 1e-15);
+  }
+  a.merge(b);
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
+}
+
 TEST(Summary, MergeWithEmpty) {
   Summary a, b;
   a.add(1.0);

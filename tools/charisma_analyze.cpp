@@ -10,12 +10,14 @@
 //
 //   --report:  all (default), jobs, nodes, population, files-per-job,
 //              sizes, requests, sequentiality, intervals, regularity,
-//              modes, sharing
+//              modes, sharing, paper (measured-vs-published deltas per
+//              figure, with the fidelity tolerance bands)
 //   --cache:   io | compute | combined  (trace-driven cache simulation)
 #include <cstdio>
 #include <string>
 
 #include "analysis/analyzers.hpp"
+#include "analysis/fidelity.hpp"
 #include "cache/simulators.hpp"
 #include "core/strided.hpp"
 #include "trace/postprocess.hpp"
@@ -105,6 +107,19 @@ int main(int argc, char** argv) {
         analysis::analyze_sharing(store, raw.header.block_size)
             .render()
             .c_str());
+  }
+  if (want("paper")) {
+    // Figure 8's statistics come from the compute-cache replay (one buffer
+    // per node, the paper's configuration).
+    cache::ComputeCacheConfig cache_cfg;
+    const auto compute = cache::simulate_compute_cache(
+        sorted, store.read_only_sessions(), cache_cfg);
+    const analysis::CacheFigures cache_figs{compute.fraction_jobs_above_75,
+                                            compute.fraction_jobs_zero};
+    const auto checks = analysis::check_paper_fidelity(
+        store, sorted, raw.header.block_size, &cache_figs);
+    std::printf("--- Paper-vs-measured deltas ---\n%s\n",
+                analysis::render_fidelity(checks).c_str());
   }
 
   if (flags.has("cache")) {

@@ -3,17 +3,23 @@
 // statistics with 95% confidence intervals.
 //
 //   charisma_campaign [--seeds=42,43,44] [--scales=0.2] [--threads=N]
-//                     [--queue=bucketed|heap] [--smoke] [--out=DIR]
+//                     [--queue=bucketed|heap] [--smoke] [--figures=0|1]
+//                     [--out=DIR]
 //
 //   --seeds:   comma-separated workload seeds (default 42,43,44,45)
 //   --scales:  comma-separated workload scales (default 0.2)
 //   --threads: campaign worker threads; 0 = hardware concurrency,
 //              1 = serial (default 0)
 //   --smoke:   use the tiny smoke workload/machine (CI cross-checks)
+//   --figures: sample per-figure curves and fold envelope bands across the
+//              replications (default 1; 0 skips the analyzer/cache replays
+//              for pure-throughput runs)
 //   --out:     also write campaign_studies.tsv / campaign_aggregate.tsv
+//              plus one campaign_<figure>.tsv envelope per figure
 //
-// The per-study digest lines are the determinism contract: CI runs the same
-// campaign at --threads=1 and --threads=2 and diffs the output.
+// The per-study digest lines and the per-figure envelope TSVs are the
+// determinism contract: CI runs the same campaign at --threads=1 and
+// --threads=2 and diffs both.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -51,7 +57,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: charisma_campaign [--seeds=42,43] [--scales=0.2] "
                "[--threads=N] [--queue=bucketed|heap] [--smoke] "
-               "[--out=DIR]\n");
+               "[--figures=0|1] [--out=DIR]\n");
   return 2;
 }
 
@@ -59,7 +65,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"seeds", "scales", "threads", "queue", "smoke", "out"});
+                    {"seeds", "scales", "threads", "queue", "smoke",
+                     "figures", "out"});
   if (flags.remaining_argc() > 1) return usage();
 
   std::vector<std::uint64_t> seeds;
@@ -89,6 +96,7 @@ int main(int argc, char** argv) {
   core::CampaignOptions options;
   options.threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.collect_figures = flags.get_bool("figures", true);
   const core::CampaignRunner runner(options);
 
   const auto start = WallClock::now();
@@ -111,6 +119,17 @@ int main(int argc, char** argv) {
                 "max=%.6g\n",
                 a.name.c_str(), a.summary.mean(), a.summary.stddev(),
                 a.ci95_half_width(), a.summary.min(), a.summary.max());
+  }
+  for (const auto& env : result.figure_envelopes) {
+    // One line per figure so the envelope fold is diffable in CI too; the
+    // band summary is the widest max-min spread over the grid.
+    double spread = 0.0;
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      spread = std::max(spread, env.max[i] - env.min[i]);
+    }
+    std::printf("figure %-24s points=%zu reps=%llu max_band=%.6g\n",
+                env.name.c_str(), env.size(),
+                static_cast<unsigned long long>(env.replications), spread);
   }
   const std::size_t effective_threads =
       options.threads == 0
