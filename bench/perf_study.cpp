@@ -12,8 +12,12 @@
 //   --seed=42              workload seed
 //   --threads=0            sweep/session worker threads (0 = hardware)
 //   --queue=bucketed       event queue: bucketed | reference
+//   --sweep-mode=grouped   cache sweep execution: grouped | per-config
 //   --out=<path>           also write the JSON there (stdout always)
 //   --check-digest=0x...   exit non-zero unless the trace digest matches
+//
+// Per-point sweep summaries go to stderr in a mode-independent format, so
+// CI can diff the two sweep modes' lines byte-for-byte.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -84,15 +88,44 @@ using WallClock = std::chrono::steady_clock;  // NOLINT(charisma-wallclock)
   return configs;
 }
 
+/// Mode-independent per-point summary lines (stderr), byte-diffable between
+/// --sweep-mode=grouped and --sweep-mode=per-config runs.
+void print_sweep_results(
+    const std::vector<cache::ComputeCacheConfig>& compute_configs,
+    const std::vector<cache::ComputeCacheResult>& compute_results,
+    const std::vector<cache::IoNodeSimConfig>& io_configs,
+    const std::vector<cache::IoNodeSimResult>& io_results) {
+  for (std::size_t i = 0; i < compute_results.size(); ++i) {
+    std::fprintf(stderr, "compute[%zu] buffers=%zu %s\n", i,
+                 compute_configs[i].buffers_per_node,
+                 compute_results[i].describe().c_str());
+  }
+  for (std::size_t i = 0; i < io_results.size(); ++i) {
+    std::fprintf(stderr, "io[%zu] policy=%s io_nodes=%d buffers=%zu front=%zu %s\n",
+                 i, to_string(io_configs[i].policy), io_configs[i].io_nodes,
+                 io_configs[i].total_buffers,
+                 io_configs[i].compute_buffers_per_node,
+                 io_results[i].describe().c_str());
+  }
+}
+
 int run(int argc, char** argv) {
-  util::Flags flags(
-      argc, argv, {"scale", "seed", "threads", "queue", "out", "check-digest"});
+  util::Flags flags(argc, argv,
+                    {"scale", "seed", "threads", "queue", "sweep-mode", "out",
+                     "check-digest"});
   const double scale = flags.get_double("scale", 0.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   const std::string queue_name = flags.get("queue", "bucketed");
   CHECK(queue_name == "bucketed" || queue_name == "reference",
         "--queue must be 'bucketed' or 'reference', got '", queue_name, "'");
+  const std::string sweep_mode_name = flags.get("sweep-mode", "grouped");
+  CHECK(sweep_mode_name == "grouped" || sweep_mode_name == "per-config",
+        "--sweep-mode must be 'grouped' or 'per-config', got '",
+        sweep_mode_name, "'");
+  const cache::SweepMode sweep_mode = sweep_mode_name == "grouped"
+                                          ? cache::SweepMode::kGrouped
+                                          : cache::SweepMode::kPerConfig;
 
   core::StudyConfig config;
   config.workload.scale = scale;
@@ -112,12 +145,26 @@ int run(int argc, char** argv) {
   const std::set<cache::SessionKey> read_only = store.read_only_sessions();
   const double sessions_ms = ms_since(stage_start);
 
+  const auto compute_configs = compute_sweep();
+  const auto io_configs = io_sweep();
   stage_start = WallClock::now();
   const cache::SweepRunner sweeps(study.sorted, read_only, pool);
-  const auto compute_results = sweeps.run_compute(compute_sweep());
-  const auto io_results = sweeps.run_io(io_sweep());
+  const auto compute_results = sweeps.run_compute(compute_configs, sweep_mode);
+  const auto io_results = sweeps.run_io(io_configs, sweep_mode);
   const double sweep_ms = ms_since(stage_start);
   const double total_ms = ms_since(total_start);
+
+  const cache::SweepPlan compute_plan = cache::plan_compute_sweep(compute_configs);
+  const cache::SweepPlan io_plan = cache::plan_io_sweep(io_configs);
+  const std::size_t sweep_passes =
+      sweep_mode == cache::SweepMode::kGrouped
+          ? compute_plan.passes() + io_plan.passes()
+          : compute_configs.size() + io_configs.size();
+  std::fprintf(stderr, "sweep mode: %s\n", to_string(sweep_mode));
+  std::fprintf(stderr, "compute plan: %s\n", compute_plan.describe().c_str());
+  std::fprintf(stderr, "io plan: %s\n", io_plan.describe().c_str());
+  print_sweep_results(compute_configs, compute_results, io_configs,
+                      io_results);
 
   const std::uint64_t digest = study.raw.digest();
   char digest_hex[32];
@@ -135,6 +182,8 @@ int run(int argc, char** argv) {
   json += "  \"seed\": " + std::to_string(seed) + ",\n";
   json += "  \"threads\": " + std::to_string(pool.thread_count()) + ",\n";
   json += "  \"queue\": \"" + queue_name + "\",\n";
+  json += "  \"sweep_mode\": \"" + sweep_mode_name + "\",\n";
+  json += "  \"sweep_passes\": " + std::to_string(sweep_passes) + ",\n";
   json += "  \"stages_ms\": {\n";
   json += "    \"study\": " + std::to_string(study_ms) + ",\n";
   json += "    \"sessions\": " + std::to_string(sessions_ms) + ",\n";

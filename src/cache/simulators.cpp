@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
-#include <unordered_map>
 
+#include "cache/stack_sim.hpp"
 #include "util/check.hpp"
 
 namespace charisma::cache {
@@ -38,47 +38,6 @@ std::vector<ReplayOp> prepare_replay(const trace::SortedTrace& trace,
 }
 
 namespace {
-
-/// First and last file block a request touches.
-struct BlockSpan {
-  std::int64_t first;
-  std::int64_t last;
-};
-BlockSpan span_of(const ReplayOp& op, std::int64_t bs) {
-  return {op.offset / bs,
-          (op.offset + std::max<std::int64_t>(op.bytes, 1) - 1) / bs};
-}
-
-/// (job, node) -> BlockCache with a memo of the last lookup: replay streams
-/// are long runs of one node's requests, so most lookups hit the memo.
-class PerNodeCaches {
- public:
-  PerNodeCaches(std::size_t buffers, Policy policy)
-      : buffers_(buffers), policy_(policy) {}
-
-  BlockCache& at(JobId job, NodeId node) {
-    if (last_ != nullptr && job == last_job_ && node == last_node_) {
-      return *last_;
-    }
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32) |
-        static_cast<std::uint32_t>(node);
-    const auto [it, inserted] = caches_.try_emplace(key, buffers_, policy_);
-    last_job_ = job;
-    last_node_ = node;
-    last_ = &it->second;
-    return *last_;
-  }
-
- private:
-  std::size_t buffers_;
-  Policy policy_;
-  // Keyed by packed (job, node); never iterated, so hash order is safe.
-  std::unordered_map<std::uint64_t, BlockCache> caches_;
-  JobId last_job_ = cfs::kNoJob;
-  NodeId last_node_ = -1;
-  BlockCache* last_ = nullptr;
-};
 
 ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
                                         const ComputeCacheConfig& config) {
@@ -118,9 +77,7 @@ ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
   }
 
   for (const auto& [job, jc] : per_job) {
-    const double rate = jc.reads ? static_cast<double>(jc.hits) /
-                                       static_cast<double>(jc.reads)
-                                 : 0.0;
+    const double rate = hit_fraction(jc.hits, jc.reads);
     out.job_hit_rates.push_back(rate);
     if (rate <= 0.0) out.fraction_jobs_zero += 1.0;
     if (rate > 0.75) out.fraction_jobs_above_75 += 1.0;
@@ -189,14 +146,180 @@ IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
     }
     if (full_hit) ++out.request_hits;
   }
-  out.hit_rate = out.requests ? static_cast<double>(out.request_hits) /
-                                    static_cast<double>(out.requests)
-                              : 0.0;
-  out.block_hit_rate =
-      out.block_accesses ? static_cast<double>(out.block_hits) /
-                               static_cast<double>(out.block_accesses)
-                         : 0.0;
+  out.finalize_rates();
   return out;
+}
+
+/// Batched replay for the policies without an inclusion property (FIFO,
+/// IP-aware): decode/filter the op stream once and step every config's cache
+/// set per record, instead of one full pass per config.  `shape` supplies
+/// the shared topology (io_nodes, block_size, front setting, policy);
+/// `per_node_buffers` lists the distinct per-node buffer counts.  The §4.8
+/// front caches are simulated once for the whole group — their capacity is
+/// part of the group key, so every member sees the identical filtered
+/// stream.
+std::vector<IoNodeSimResult> batched_io_group(
+    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const std::vector<std::size_t>& per_node_buffers) {
+  util::check(shape.io_nodes >= 1, "need at least one I/O node");
+  util::check(shape.block_size > 0, "bad block size");
+  const std::size_t n = per_node_buffers.size();
+  const auto io_nodes = static_cast<std::size_t>(shape.io_nodes);
+
+  std::vector<std::vector<BlockCache>> caches(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    caches[c].reserve(io_nodes);
+    for (std::size_t i = 0; i < io_nodes; ++i) {
+      caches[c].emplace_back(per_node_buffers[c], shape.policy);
+    }
+  }
+  PerNodeCaches front(shape.compute_buffers_per_node, Policy::kLru);
+  std::vector<IoNodeSimResult> out(n);
+
+  for (const ReplayOp& op : ops) {
+    const auto [first, last] = span_of(op, shape.block_size);
+
+    if (shape.compute_buffers_per_node > 0 && op.is_read &&
+        op.read_only_session) {
+      BlockCache& cache = front.at(op.job, op.node);
+      bool full_hit = true;
+      for (std::int64_t b = first; b <= last; ++b) {
+        if (!cache.contains({op.file, b})) {
+          full_hit = false;
+          break;
+        }
+      }
+      for (std::int64_t b = first; b <= last; ++b) {
+        (void)cache.access({op.file, b}, op.node);
+      }
+      if (full_hit) {
+        for (std::size_t c = 0; c < n; ++c) ++out[c].filtered_by_compute;
+        continue;
+      }
+    }
+
+    for (std::size_t c = 0; c < n; ++c) {
+      IoNodeSimResult& r = out[c];
+      ++r.requests;
+      bool full_hit = true;
+      for (std::int64_t b = first; b <= last; ++b) {
+        ++r.block_accesses;
+        if (caches[c][static_cast<std::size_t>(b % shape.io_nodes)].access(
+                {op.file, b}, op.node)) {
+          ++r.block_hits;
+        } else {
+          full_hit = false;
+        }
+      }
+      if (full_hit) ++r.request_hits;
+    }
+  }
+  for (IoNodeSimResult& r : out) r.finalize_rates();
+  return out;
+}
+
+// ---- Config grouping -------------------------------------------------------
+
+/// Configs sharing a key replay the identical filtered stream through the
+/// identical cache topology — only the buffer count differs — so one pass
+/// can cover the whole group.
+struct IoGroupKey {
+  int io_nodes = 0;
+  std::int64_t block_size = 0;
+  std::size_t front = 0;
+  Policy policy = Policy::kLru;
+  bool operator==(const IoGroupKey&) const = default;
+};
+
+struct SweepGrouping {
+  std::vector<std::size_t> members;     // config indices, input order
+  std::vector<std::size_t> capacities;  // distinct buffer counts, ascending
+  std::vector<std::size_t> member_point;  // member -> index into capacities
+  Policy policy = Policy::kLru;
+
+  [[nodiscard]] SweepGroup::Kind kind() const noexcept {
+    if (capacities.size() <= 1) return SweepGroup::Kind::kReplay;
+    return policy == Policy::kLru ? SweepGroup::Kind::kStack
+                                  : SweepGroup::Kind::kBatched;
+  }
+};
+
+/// Resolves each group's distinct capacities (sorted ascending) and maps
+/// every member config to its point.
+void finish_grouping(std::vector<SweepGrouping>& groups,
+                     const std::vector<std::vector<std::size_t>>& raw_caps) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    SweepGrouping& group = groups[g];
+    group.capacities = raw_caps[g];
+    std::sort(group.capacities.begin(), group.capacities.end());
+    group.capacities.erase(
+        std::unique(group.capacities.begin(), group.capacities.end()),
+        group.capacities.end());
+    group.member_point.reserve(group.members.size());
+    for (const std::size_t cap : raw_caps[g]) {
+      group.member_point.push_back(static_cast<std::size_t>(
+          std::lower_bound(group.capacities.begin(), group.capacities.end(),
+                           cap) -
+          group.capacities.begin()));
+    }
+  }
+}
+
+std::vector<SweepGrouping> group_compute(
+    const std::vector<ComputeCacheConfig>& configs) {
+  std::vector<SweepGrouping> groups;
+  std::vector<std::int64_t> keys;                 // block size per group
+  std::vector<std::vector<std::size_t>> raw_caps; // member capacities
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ComputeCacheConfig& c = configs[i];
+    std::size_t g = 0;
+    while (g < groups.size() && keys[g] != c.block_size) ++g;
+    if (g == groups.size()) {
+      groups.emplace_back();
+      groups.back().policy = Policy::kLru;  // fig 8 is LRU by definition
+      keys.push_back(c.block_size);
+      raw_caps.emplace_back();
+    }
+    groups[g].members.push_back(i);
+    raw_caps[g].push_back(c.buffers_per_node);
+  }
+  finish_grouping(groups, raw_caps);
+  return groups;
+}
+
+std::vector<SweepGrouping> group_io(
+    const std::vector<IoNodeSimConfig>& configs) {
+  std::vector<SweepGrouping> groups;
+  std::vector<IoGroupKey> keys;
+  std::vector<std::vector<std::size_t>> raw_caps;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const IoNodeSimConfig& c = configs[i];
+    const IoGroupKey key{c.io_nodes, c.block_size,
+                         c.compute_buffers_per_node, c.policy};
+    std::size_t g = 0;
+    while (g < groups.size() && !(keys[g] == key)) ++g;
+    if (g == groups.size()) {
+      groups.emplace_back();
+      groups.back().policy = c.policy;
+      keys.push_back(key);
+      raw_caps.emplace_back();
+    }
+    groups[g].members.push_back(i);
+    raw_caps[g].push_back(c.total_buffers /
+                          static_cast<std::size_t>(c.io_nodes));
+  }
+  finish_grouping(groups, raw_caps);
+  return groups;
+}
+
+SweepPlan plan_of(const std::vector<SweepGrouping>& groups) {
+  SweepPlan plan;
+  plan.groups.reserve(groups.size());
+  for (const SweepGrouping& g : groups) {
+    plan.groups.push_back(
+        {g.kind(), g.policy, g.members.size(), g.capacities.size()});
+  }
+  return plan;
 }
 
 }  // namespace
@@ -216,27 +339,133 @@ IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
                                  config);
 }
 
+// ---- Sweep plan ------------------------------------------------------------
+
+std::size_t SweepPlan::configs() const noexcept {
+  std::size_t n = 0;
+  for (const SweepGroup& g : groups) n += g.configs;
+  return n;
+}
+
+std::size_t SweepPlan::simulated_points() const noexcept {
+  std::size_t n = 0;
+  for (const SweepGroup& g : groups) n += g.simulated;
+  return n;
+}
+
+std::string SweepPlan::describe() const {
+  std::ostringstream s;
+  s << configs() << " configs in " << passes()
+    << (passes() == 1 ? " pass:" : " passes:");
+  for (const SweepGroup& g : groups) {
+    s << " " << to_string(g.policy) << "/" << to_string(g.kind) << "("
+      << g.configs << "->" << g.simulated << ")";
+  }
+  return s.str();
+}
+
+SweepPlan plan_compute_sweep(const std::vector<ComputeCacheConfig>& configs) {
+  return detail::plan_of(detail::group_compute(configs));
+}
+
+SweepPlan plan_io_sweep(const std::vector<IoNodeSimConfig>& configs) {
+  return detail::plan_of(detail::group_io(configs));
+}
+
+// ---- SweepRunner -----------------------------------------------------------
+
+SweepRunner::SweepRunner(const trace::SortedTrace& trace,
+                         const std::set<SessionKey>& read_only)
+    : prepared_(detail::prepare_replay(trace, read_only)) {}
+
 SweepRunner::SweepRunner(const trace::SortedTrace& trace,
                          const std::set<SessionKey>& read_only,
                          util::ThreadPool& pool)
     : prepared_(detail::prepare_replay(trace, read_only)), pool_(&pool) {}
 
+void SweepRunner::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    util::parallel_for(*pool_, n, body);
+  }
+}
+
 std::vector<ComputeCacheResult> SweepRunner::run_compute(
-    const std::vector<ComputeCacheConfig>& configs) const {
+    const std::vector<ComputeCacheConfig>& configs, SweepMode mode) const {
   std::vector<ComputeCacheResult> results(configs.size());
-  util::parallel_for(*pool_, configs.size(), [&](std::size_t i) {
-    results[i] = detail::replay_compute_cache(prepared_, configs[i]);
+  if (mode == SweepMode::kPerConfig) {
+    for_each(configs.size(), [&](std::size_t i) {
+      results[i] = detail::replay_compute_cache(prepared_, configs[i]);
+    });
+    return results;
+  }
+  const auto groups = detail::group_compute(configs);
+  // Results land in slots keyed by the original config index, so the output
+  // order is the input order for any pool thread count.
+  for_each(groups.size(), [&](std::size_t g) {
+    const auto& group = groups[g];
+    std::vector<ComputeCacheResult> points;
+    if (group.kind() == SweepGroup::Kind::kStack) {
+      points = detail::stack_compute_group(
+          prepared_, configs[group.members.front()].block_size,
+          group.capacities);
+    } else {
+      points.push_back(detail::replay_compute_cache(
+          prepared_, configs[group.members.front()]));
+    }
+    for (std::size_t m = 0; m < group.members.size(); ++m) {
+      results[group.members[m]] = points[group.member_point[m]];
+    }
   });
   return results;
 }
 
 std::vector<IoNodeSimResult> SweepRunner::run_io(
-    const std::vector<IoNodeSimConfig>& configs) const {
+    const std::vector<IoNodeSimConfig>& configs, SweepMode mode) const {
   std::vector<IoNodeSimResult> results(configs.size());
-  util::parallel_for(*pool_, configs.size(), [&](std::size_t i) {
-    results[i] = detail::replay_io_cache(prepared_, configs[i]);
+  if (mode == SweepMode::kPerConfig) {
+    for_each(configs.size(), [&](std::size_t i) {
+      results[i] = detail::replay_io_cache(prepared_, configs[i]);
+    });
+    return results;
+  }
+  const auto groups = detail::group_io(configs);
+  for_each(groups.size(), [&](std::size_t g) {
+    const auto& group = groups[g];
+    const IoNodeSimConfig& shape = configs[group.members.front()];
+    std::vector<IoNodeSimResult> points;
+    switch (group.kind()) {
+      case SweepGroup::Kind::kStack:
+        points = detail::stack_io_group(prepared_, shape, group.capacities);
+        break;
+      case SweepGroup::Kind::kBatched:
+        // FIFO gets the shared-hash single-pass; other non-inclusive
+        // policies (IP-aware eviction is stateful) step real caches.
+        points = shape.policy == Policy::kFifo && group.capacities.size() <= 16
+                     ? detail::fifo_io_group(prepared_, shape,
+                                             group.capacities)
+                     : detail::batched_io_group(prepared_, shape,
+                                                group.capacities);
+        break;
+      case SweepGroup::Kind::kReplay:
+        points.push_back(detail::replay_io_cache(prepared_, shape));
+        break;
+    }
+    for (std::size_t m = 0; m < group.members.size(); ++m) {
+      results[group.members[m]] = points[group.member_point[m]];
+    }
   });
   return results;
+}
+
+std::string ComputeCacheResult::describe() const {
+  std::ostringstream s;
+  s << "reads=" << reads << " hits=" << hits << " hit_rate="
+    << overall_hit_rate() << " jobs=" << job_hit_rates.size() << " zero="
+    << fraction_jobs_zero << " above75=" << fraction_jobs_above_75;
+  return s.str();
 }
 
 std::string IoNodeSimResult::describe() const {

@@ -12,8 +12,11 @@
 //    front caches strip from the I/O-node stream.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/block_cache.hpp"
@@ -44,6 +47,49 @@ struct ReplayOp {
 [[nodiscard]] std::vector<ReplayOp> prepare_replay(
     const trace::SortedTrace& trace, const std::set<SessionKey>& read_only);
 
+/// First and last file block a request touches.
+struct BlockSpan {
+  std::int64_t first;
+  std::int64_t last;
+};
+[[nodiscard]] inline BlockSpan span_of(const ReplayOp& op, std::int64_t bs) {
+  return {op.offset / bs,
+          (op.offset + std::max<std::int64_t>(op.bytes, 1) - 1) / bs};
+}
+
+/// (job, node) -> BlockCache with a memo of the last lookup: replay streams
+/// are long runs of one node's requests, so most lookups hit the memo.
+/// Shared by the per-config replays, the batched replays, and the stack
+/// simulator's §4.8 front caches.
+class PerNodeCaches {
+ public:
+  PerNodeCaches(std::size_t buffers, Policy policy)
+      : buffers_(buffers), policy_(policy) {}
+
+  BlockCache& at(JobId job, NodeId node) {
+    if (last_ != nullptr && job == last_job_ && node == last_node_) {
+      return *last_;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32) |
+        static_cast<std::uint32_t>(node);
+    const auto [it, inserted] = caches_.try_emplace(key, buffers_, policy_);
+    last_job_ = job;
+    last_node_ = node;
+    last_ = &it->second;
+    return *last_;
+  }
+
+ private:
+  std::size_t buffers_;
+  Policy policy_;
+  // Keyed by packed (job, node); never iterated, so hash order is safe.
+  std::unordered_map<std::uint64_t, BlockCache> caches_;
+  JobId last_job_ = cfs::kNoJob;
+  NodeId last_node_ = -1;
+  BlockCache* last_ = nullptr;
+};
+
 }  // namespace detail
 
 // ---- Figure 8 -------------------------------------------------------------
@@ -52,6 +98,14 @@ struct ComputeCacheConfig {
   std::size_t buffers_per_node = 1;
   std::int64_t block_size = util::kBlockSize;
 };
+
+/// hits / total as a fraction, 0 when there were no attempts.  The one
+/// derivation every cache-simulation result and report line shares, so the
+/// per-config and grouped paths cannot drift.
+[[nodiscard]] constexpr double hit_fraction(std::uint64_t hits,
+                                            std::uint64_t total) noexcept {
+  return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
 
 struct ComputeCacheResult {
   std::vector<double> job_hit_rates;  // jobs with >= 1 eligible read
@@ -62,9 +116,12 @@ struct ComputeCacheResult {
   std::uint64_t hits = 0;
 
   [[nodiscard]] double overall_hit_rate() const noexcept {
-    return reads ? static_cast<double>(hits) / static_cast<double>(reads)
-                 : 0.0;
+    return hit_fraction(hits, reads);
   }
+
+  /// One-line counter summary (shared by the perf harness's sweep-mode
+  /// cross-check lines).
+  [[nodiscard]] std::string describe() const;
 };
 
 /// `read_only` restricts caching to read-only sessions, as the paper did
@@ -95,6 +152,14 @@ struct IoNodeSimResult {
   double hit_rate = 0.0;        // request-level (the paper's Figure 9 axis)
   double block_hit_rate = 0.0;  // block-level, for the ablation commentary
 
+  /// Derives hit_rate / block_hit_rate from the counters.  Every simulation
+  /// path (per-config replay, batched replay, stack simulation) finishes
+  /// through this one helper so the derived fields cannot drift.
+  void finalize_rates() noexcept {
+    hit_rate = hit_fraction(request_hits, requests);
+    block_hit_rate = hit_fraction(block_hits, block_accesses);
+  }
+
   [[nodiscard]] std::string describe() const;
 };
 
@@ -104,36 +169,110 @@ struct IoNodeSimResult {
 
 // ---- Parameter sweeps ------------------------------------------------------
 
-/// Fans independent cache-simulation replays of one immutable trace out
-/// over a thread pool (each (size, policy, prefetch) point replays the whole
-/// trace, so points are embarrassingly parallel).  Results always come back
-/// in configuration order, making the output invariant under the pool's
-/// thread count — the sweep benches and the perf harness depend on that.
+/// How SweepRunner executes a batch of configurations.
+enum class SweepMode : std::uint8_t {
+  /// Reference: one full trace replay per configuration point.
+  kPerConfig,
+  /// Group configs by (policy, topology, front-cache setting); LRU groups run
+  /// one stack-simulation pass covering every buffer count (Mattson), the
+  /// rest run one batched replay stepping all configs per record.  Results
+  /// are bit-identical to kPerConfig (the differential tests enforce it).
+  kGrouped,
+};
+
+[[nodiscard]] constexpr const char* to_string(SweepMode m) noexcept {
+  switch (m) {
+    case SweepMode::kPerConfig: return "per-config";
+    case SweepMode::kGrouped: return "grouped";
+  }
+  return "?";
+}
+
+/// One pass of a grouped sweep, for introspection: how many config slots it
+/// covers and how many distinct cache points it actually simulates (configs
+/// collapsing to the same per-node buffer count are deduplicated).
+struct SweepGroup {
+  enum class Kind : std::uint8_t {
+    kStack,    ///< single-pass LRU stack simulation, all buffer counts at once
+    kBatched,  ///< one decode pass stepping every config per record
+    kReplay,   ///< plain per-config replay (group has one distinct point)
+  };
+  Kind kind = Kind::kReplay;
+  Policy policy = Policy::kLru;
+  std::size_t configs = 0;    ///< config slots this pass covers
+  std::size_t simulated = 0;  ///< distinct cache points simulated in the pass
+};
+
+[[nodiscard]] constexpr const char* to_string(SweepGroup::Kind k) noexcept {
+  switch (k) {
+    case SweepGroup::Kind::kStack: return "stack";
+    case SweepGroup::Kind::kBatched: return "batched";
+    case SweepGroup::Kind::kReplay: return "replay";
+  }
+  return "?";
+}
+
+/// The grouped execution plan for a config batch — the sweep analogue of
+/// SweepRunner::replay_ops(): how much work a grouped run actually does.
+struct SweepPlan {
+  std::vector<SweepGroup> groups;
+
+  [[nodiscard]] std::size_t passes() const noexcept { return groups.size(); }
+  [[nodiscard]] std::size_t configs() const noexcept;
+  [[nodiscard]] std::size_t simulated_points() const noexcept;
+  /// e.g. "28 configs in 8 passes: LRU/stack(11->9) FIFO/batched(9->9) ...".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The plan run_compute / run_io would execute in SweepMode::kGrouped.
+/// Purely structural — no trace needed.
+[[nodiscard]] SweepPlan plan_compute_sweep(
+    const std::vector<ComputeCacheConfig>& configs);
+[[nodiscard]] SweepPlan plan_io_sweep(
+    const std::vector<IoNodeSimConfig>& configs);
+
+/// Runs cache-simulation sweeps over one immutable trace.  Results always
+/// come back in configuration order, making the output invariant under the
+/// pool's thread count — the sweep benches and the perf harness depend on
+/// that.
 ///
-/// The trace is pre-filtered once (detail::prepare_replay) so the per-point
-/// replay touches only data requests and never repeats the read-only-session
-/// set lookups; with tens of sweep points this alone is a measurable win
-/// even single-threaded.
+/// The trace is pre-filtered once (detail::prepare_replay) so replays touch
+/// only data requests and never repeat the read-only-session set lookups.
+/// In the default SweepMode::kGrouped, configurations are further grouped by
+/// (policy, topology, front-cache setting) and each *group* costs one trace
+/// pass — exact LRU stack simulation for every buffer count at once, batched
+/// replay for the non-inclusive policies — and the groups (not the points)
+/// fan out over the thread pool.
 class SweepRunner {
  public:
-  /// Borrows all three references; they must outlive the runner.
+  /// Serial runner: passes execute inline on the calling thread.  The
+  /// references are borrowed and must outlive the runner.
+  SweepRunner(const trace::SortedTrace& trace,
+              const std::set<SessionKey>& read_only);
+  /// Pooled runner: independent passes fan out over `pool`.
   SweepRunner(const trace::SortedTrace& trace,
               const std::set<SessionKey>& read_only, util::ThreadPool& pool);
 
   /// Figure 8 points, one result per config, in config order.
   [[nodiscard]] std::vector<ComputeCacheResult> run_compute(
-      const std::vector<ComputeCacheConfig>& configs) const;
+      const std::vector<ComputeCacheConfig>& configs,
+      SweepMode mode = SweepMode::kGrouped) const;
   /// Figure 9 / §4.8 points, one result per config, in config order.
   [[nodiscard]] std::vector<IoNodeSimResult> run_io(
-      const std::vector<IoNodeSimConfig>& configs) const;
+      const std::vector<IoNodeSimConfig>& configs,
+      SweepMode mode = SweepMode::kGrouped) const;
 
   [[nodiscard]] std::size_t replay_ops() const noexcept {
     return prepared_.size();
   }
 
  private:
+  /// parallel_for over the pool when one was given, else a serial loop.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& body) const;
+
   std::vector<detail::ReplayOp> prepared_;
-  util::ThreadPool* pool_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace charisma::cache

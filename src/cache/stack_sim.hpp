@@ -1,0 +1,146 @@
+// Single-pass multi-capacity cache sweeps.
+//
+// LRU has the inclusion property (Mattson et al., "Evaluation techniques
+// for storage hierarchies", 1970): at every instant a C-buffer LRU cache
+// holds exactly the C most-recently-used blocks, so the caches of every
+// capacity are nested and one pass can answer all buffer counts at once.
+// An access hits a C-buffer cache exactly when the block's position in the
+// full LRU stack is < C — so the only question per access is *which band*
+// between consecutive swept capacities the position falls in.
+//
+// SegmentedLruStack answers that band in O(1) without ever computing the
+// exact position: the LRU list is partitioned into segments at the swept
+// capacities by sentinel nodes, every resident block carries its segment
+// index, and an access repairs the boundaries with at most one constant-
+// time sentinel swap per segment (positions only ever shift by one).
+// Blocks pushed past the largest capacity are evicted outright — beyond it
+// they are indistinguishable from cold — which keeps the structure exactly
+// as big as the largest simulated cache.  Hits in the top segment (the
+// common case: most reuse is recent) move to the front with no boundary
+// repair at all, making the per-access cost comparable to a single
+// BlockCache access instead of one per swept capacity.
+//
+// FIFO has no inclusion property (a bigger FIFO cache is not a superset of
+// a smaller one), so each capacity's cache must be stepped individually —
+// but FIFO never reorders on a hit, so an inserted block survives exactly
+// `capacity` further insertions into its (capacity, node) queue.  That
+// makes eviction implicit: fifo_io_group stamps every insertion with the
+// queue's running sequence number and keeps one shared hash entry per
+// block holding its stamps for all capacities, so presence is a stamp
+// comparison, evictions write nothing, and one probe per block access
+// covers every config instead of one full hash-map per config per pass.
+// The IP-aware policy (stateful eviction scans) stays on the generic
+// batched replay in simulators.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/simulators.hpp"
+
+namespace charisma::cache {
+
+/// One LRU stack standing in for LRU caches of several capacities at once.
+/// Constructed with the sorted distinct capacities; each access reports the
+/// index of the smallest capacity that would have hit (its "bucket"), or
+/// kMiss (== capacities.size()) when even the largest missed.
+class SegmentedLruStack {
+ public:
+  explicit SegmentedLruStack(const std::vector<std::size_t>& capacities);
+
+  /// Bucket the access would land in, without touching the stack — the
+  /// compute-node simulation's contains-before-access semantics.
+  [[nodiscard]] std::size_t peek(const BlockKey& key) const {
+    const std::size_t slot = probe(key);
+    if (slots_[slot].node == kEmptySlot) return miss_bucket();
+    return nodes_[slots_[slot].node].seg + zero_offset_;
+  }
+  /// Moves (or inserts) the block to the top of the stack.
+  void touch(const BlockKey& key);
+  /// peek + touch with a single probe — the I/O-node simulation's
+  /// access-as-you-go semantics.
+  std::size_t access(const BlockKey& key);
+
+  /// The miss bucket: the number of swept capacities (a zero capacity,
+  /// which can never hit, counts here but gets no segment).
+  [[nodiscard]] std::size_t miss_bucket() const noexcept {
+    return segments_ + zero_offset_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  /// Slab node: real blocks and the per-capacity boundary sentinels share
+  /// the recency list.  Sentinel i (slab index i < segments_) sits right
+  /// after the last block that capacity capacities[i] would hold.
+  struct Node {
+    BlockKey key;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t seg = 0;
+  };
+  struct Slot {
+    BlockKey key;
+    std::uint32_t node = kEmptySlot;
+  };
+
+  [[nodiscard]] std::size_t probe(const BlockKey& key) const {
+    std::size_t i = BlockKeyHash{}(key) & mask_;
+    while (slots_[i].node != kEmptySlot && !(slots_[i].key == key)) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+  void unlink(std::uint32_t idx);
+  void insert_before(std::uint32_t pos, std::uint32_t idx);
+  void push_front(std::uint32_t idx);
+  void erase_slot_for(const BlockKey& key);
+  /// Re-front an existing node from segment `seg` (hit path).
+  void promote(std::uint32_t idx, std::uint32_t seg);
+  /// Inserts a new block at the front, cascading one block across each full
+  /// boundary and evicting past the largest capacity.
+  void insert_cold(const BlockKey& key);
+
+  std::vector<std::size_t> capacities_;  // nonzero, strictly increasing
+  std::size_t segments_ = 0;             // == capacities_.size()
+  std::size_t zero_offset_ = 0;          // 1 when a zero capacity was swept
+  std::size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<Node> nodes_;  // [0, segments_) sentinels, rest blocks
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;
+  std::size_t size_ = 0;  // resident blocks (sentinels excluded)
+};
+
+namespace detail {
+
+/// Figure 8 in one pass: exact ComputeCacheResult for every buffer count in
+/// `buffer_counts` (sorted ascending, distinct), per-(job, node) LRU caches
+/// of `block_size` blocks.  Bit-identical to replay_compute_cache run once
+/// per count.
+[[nodiscard]] std::vector<ComputeCacheResult> stack_compute_group(
+    const std::vector<ReplayOp>& ops, std::int64_t block_size,
+    const std::vector<std::size_t>& buffer_counts);
+
+/// Figure 9 / §4.8 in one pass: exact IoNodeSimResult for every per-node
+/// buffer count in `per_node_buffers` (sorted ascending, distinct).  `shape`
+/// supplies the shared topology — io_nodes, block_size and the front-cache
+/// setting; its policy must be kLru and its total_buffers is ignored.
+/// Bit-identical to replay_io_cache run once per count.
+[[nodiscard]] std::vector<IoNodeSimResult> stack_io_group(
+    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const std::vector<std::size_t>& per_node_buffers);
+
+/// The FIFO analogue of stack_io_group: one shared-hash pass over the op
+/// stream covering every per-node buffer count (at most 16 of them).
+/// `shape.policy` must be kFifo.  Bit-identical to replay_io_cache run once
+/// per count.
+[[nodiscard]] std::vector<IoNodeSimResult> fifo_io_group(
+    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const std::vector<std::size_t>& per_node_buffers);
+
+}  // namespace detail
+
+}  // namespace charisma::cache

@@ -53,46 +53,76 @@ std::string format_scale(double scale) {
   return os.str();
 }
 
-/// The cache figures (8/9), appended to the trace-derived figure set.  These
-/// replay the trace through the cache simulators serially: campaign workers
-/// already saturate the pool one study per thread.
+/// The figure-8 sweep points: 1-buffer and 50-buffer per-node caches.
+std::vector<cache::ComputeCacheConfig> figure_compute_configs() {
+  std::vector<cache::ComputeCacheConfig> configs(2);
+  configs[0].buffers_per_node = 1;
+  configs[1].buffers_per_node = 50;
+  return configs;
+}
+
+/// The figure-9 sweep points: the full buffer grid under LRU, then FIFO.
+std::vector<cache::IoNodeSimConfig> figure_io_configs(int io_nodes) {
+  const auto buffers = analysis::fig9_buffer_grid();
+  std::vector<cache::IoNodeSimConfig> configs;
+  configs.reserve(2 * buffers.size());
+  for (const cache::Policy policy :
+       {cache::Policy::kLru, cache::Policy::kFifo}) {
+    for (const double b : buffers) {
+      cache::IoNodeSimConfig cfg;
+      cfg.io_nodes = io_nodes;
+      cfg.total_buffers = static_cast<std::size_t>(b);
+      cfg.policy = policy;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+/// The cache figures (8/9), appended to the trace-derived figure set.  A
+/// serial grouped SweepRunner covers each figure's whole buffer grid in one
+/// trace pass per (policy, topology) group: campaign workers already
+/// saturate the pool one study per thread, so the win here is fewer passes,
+/// not more threads.
 void append_cache_figures(analysis::FigureSet& set, const StudyOutput& output,
                           const std::set<cache::SessionKey>& read_only) {
+  const cache::SweepRunner runner(output.sorted, read_only);
+
   const auto fracs = analysis::fraction_grid();
-  const auto sample_hit_rates = [&](std::size_t buffers_per_node) {
-    cache::ComputeCacheConfig cfg;
-    cfg.buffers_per_node = buffers_per_node;
-    const auto r =
-        cache::simulate_compute_cache(output.sorted, read_only, cfg);
+  const auto compute = runner.run_compute(figure_compute_configs());
+  const auto sample_hit_rates = [&](const cache::ComputeCacheResult& r) {
     std::vector<double> ys;
     ys.reserve(fracs.size());
     for (double x : fracs) ys.push_back(r.hit_rate_cdf.at(x));
     return ys;
   };
-  set.add("fig8_1buf", fracs, sample_hit_rates(1));
-  set.add("fig8_50buf", fracs, sample_hit_rates(50));
+  set.add("fig8_1buf", fracs, sample_hit_rates(compute[0]));
+  set.add("fig8_50buf", fracs, sample_hit_rates(compute[1]));
 
   const auto buffers = analysis::fig9_buffer_grid();
+  const int io_nodes =
+      output.raw.header.io_nodes > 0 ? output.raw.header.io_nodes : 10;
+  const auto io = runner.run_io(figure_io_configs(io_nodes));
   std::vector<double> lru, fifo;
   lru.reserve(buffers.size());
   fifo.reserve(buffers.size());
-  for (const double b : buffers) {
-    cache::IoNodeSimConfig cfg;
-    cfg.io_nodes =
-        output.raw.header.io_nodes > 0 ? output.raw.header.io_nodes : 10;
-    cfg.total_buffers = static_cast<std::size_t>(b);
-    cfg.policy = cache::Policy::kLru;
-    lru.push_back(
-        cache::simulate_io_cache(output.sorted, read_only, cfg).hit_rate);
-    cfg.policy = cache::Policy::kFifo;
-    fifo.push_back(
-        cache::simulate_io_cache(output.sorted, read_only, cfg).hit_rate);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    lru.push_back(io[i].hit_rate);
+    fifo.push_back(io[buffers.size() + i].hit_rate);
   }
   set.add("fig9_lru", buffers, std::move(lru));
   set.add("fig9_fifo", buffers, std::move(fifo));
 }
 
 }  // namespace
+
+std::string describe_figure_sweep_plan(int io_nodes) {
+  std::ostringstream os;
+  os << "fig8 " << cache::plan_compute_sweep(figure_compute_configs()).describe()
+     << "; fig9 "
+     << cache::plan_io_sweep(figure_io_configs(io_nodes)).describe();
+  return os.str();
+}
 
 double AggregateStat::ci95_half_width() const noexcept {
   // Delegates to the shared helper, which is defined (zero-width, never

@@ -96,6 +96,12 @@ struct CampaignOptions {
 [[nodiscard]] std::vector<AggregateStat> aggregate_campaign(
     const std::vector<StudySummary>& studies);
 
+/// One-line description of the grouped sweep plan behind the per-study
+/// cache figures (8/9) — how many trace passes the figure collection costs
+/// per replication.  Purely structural, so campaign front-ends can print it
+/// before running anything.
+[[nodiscard]] std::string describe_figure_sweep_plan(int io_nodes = 10);
+
 /// Folds every study's figure curves into per-figure envelopes, in study
 /// (= input) order, so the result is thread-count invariant.
 [[nodiscard]] std::vector<analysis::FigureEnvelope> fold_figure_envelopes(

@@ -1,0 +1,211 @@
+// Sweep-mode differential suite: for a real (scale-0.05) generated trace,
+// every fig 8 / fig 9 / §4.8 configuration — plus the IP-aware ablation —
+// must produce bit-identical results between SweepMode::kPerConfig (the
+// reference: one full replay per point) and SweepMode::kGrouped (stack
+// simulation for LRU, batched replay for the rest), for the serial runner
+// and for pools of 1 / 2 / 8 threads.  "Bit-identical" means every counter
+// and every derived double, including the full per-job hit-rate CDF.
+//
+// This is the contract that lets the grouped path be the default everywhere
+// (figures, benches, the perf harness) without a fidelity re-audit: same
+// bits in, same bits out, only faster.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/session.hpp"
+#include "cache/simulators.hpp"
+#include "core/study.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charisma::cache {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr std::uint64_t kSeed = 42;
+
+/// One real study shared by every test in the binary; the reference results
+/// are computed once (serial, per-config) and reused by each comparison.
+struct Fixture {
+  core::StudyOutput output;
+  std::set<SessionKey> read_only;
+  std::vector<ComputeCacheConfig> compute_configs;
+  std::vector<IoNodeSimConfig> io_configs;
+  std::vector<ComputeCacheResult> compute_reference;
+  std::vector<IoNodeSimResult> io_reference;
+
+  Fixture() : output(core::run_study_at_scale(kScale, kSeed)) {
+    const analysis::SessionStore store(output.sorted);
+    read_only = store.read_only_sessions();
+    compute_configs = make_compute_configs();
+    io_configs = make_io_configs();
+    const SweepRunner serial(output.sorted, read_only);
+    compute_reference =
+        serial.run_compute(compute_configs, SweepMode::kPerConfig);
+    io_reference = serial.run_io(io_configs, SweepMode::kPerConfig);
+  }
+
+  /// The fig 8 grid the perf harness sweeps, plus a duplicate point (the
+  /// grouped path must fan one simulated point out to both slots).
+  static std::vector<ComputeCacheConfig> make_compute_configs() {
+    std::vector<ComputeCacheConfig> configs;
+    for (const std::size_t buffers : {1u, 10u, 50u, 10u}) {
+      ComputeCacheConfig cfg;
+      cfg.buffers_per_node = buffers;
+      configs.push_back(cfg);
+    }
+    return configs;
+  }
+
+  /// Every shape the fig 9 / §4.8 benches and the perf harness sweep:
+  /// the buffer grid under LRU, FIFO and IP-aware, the io-node spread,
+  /// the §4.8 front-cache pair, and capacity edge cases (total_buffers
+  /// below io_nodes -> zero per-node buffers; duplicated totals).
+  static std::vector<IoNodeSimConfig> make_io_configs() {
+    std::vector<IoNodeSimConfig> configs;
+    for (const std::size_t buffers : {100u, 500u, 2000u, 8000u, 500u}) {
+      for (const Policy policy :
+           {Policy::kLru, Policy::kFifo, Policy::kInterprocessAware}) {
+        IoNodeSimConfig cfg;
+        cfg.total_buffers = buffers;
+        cfg.policy = policy;
+        configs.push_back(cfg);
+      }
+    }
+    for (const int io : {1, 2, 5, 10, 20}) {
+      IoNodeSimConfig cfg;
+      cfg.total_buffers = 4000;
+      cfg.io_nodes = io;
+      configs.push_back(cfg);
+    }
+    for (const std::size_t front : {0u, 1u}) {
+      IoNodeSimConfig cfg;  // §4.8 combined-cache pair
+      cfg.total_buffers = 500;
+      cfg.compute_buffers_per_node = front;
+      configs.push_back(cfg);
+    }
+    IoNodeSimConfig tiny;  // rounds to zero buffers per node
+    tiny.total_buffers = 3;
+    configs.push_back(tiny);
+    return configs;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void expect_identical(const util::Cdf& a, const util::Cdf& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].x, b.points()[i].x) << "point " << i;
+    EXPECT_EQ(a.points()[i].cumulative_fraction,
+              b.points()[i].cumulative_fraction)
+        << "point " << i;
+  }
+}
+
+void expect_identical(const ComputeCacheResult& a, const ComputeCacheResult& b,
+                      std::size_t config) {
+  SCOPED_TRACE("compute config " + std::to_string(config));
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.job_hit_rates, b.job_hit_rates);
+  EXPECT_EQ(a.fraction_jobs_zero, b.fraction_jobs_zero);
+  EXPECT_EQ(a.fraction_jobs_above_75, b.fraction_jobs_above_75);
+  EXPECT_EQ(a.overall_hit_rate(), b.overall_hit_rate());
+  expect_identical(a.hit_rate_cdf, b.hit_rate_cdf);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+void expect_identical(const IoNodeSimResult& a, const IoNodeSimResult& b,
+                      std::size_t config) {
+  SCOPED_TRACE("io config " + std::to_string(config));
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.request_hits, b.request_hits);
+  EXPECT_EQ(a.block_accesses, b.block_accesses);
+  EXPECT_EQ(a.block_hits, b.block_hits);
+  EXPECT_EQ(a.filtered_by_compute, b.filtered_by_compute);
+  EXPECT_EQ(a.hit_rate, b.hit_rate);
+  EXPECT_EQ(a.block_hit_rate, b.block_hit_rate);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+void expect_matches_reference(const SweepRunner& runner) {
+  const Fixture& f = fixture();
+  const auto compute = runner.run_compute(f.compute_configs,
+                                          SweepMode::kGrouped);
+  ASSERT_EQ(compute.size(), f.compute_configs.size());
+  for (std::size_t i = 0; i < compute.size(); ++i) {
+    expect_identical(f.compute_reference[i], compute[i], i);
+  }
+  const auto io = runner.run_io(f.io_configs, SweepMode::kGrouped);
+  ASSERT_EQ(io.size(), f.io_configs.size());
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    expect_identical(f.io_reference[i], io[i], i);
+  }
+}
+
+TEST(SweepDifferential, GroupedMatchesPerConfigSerially) {
+  const Fixture& f = fixture();
+  const SweepRunner serial(f.output.sorted, f.read_only);
+  expect_matches_reference(serial);
+}
+
+TEST(SweepDifferential, GroupedMatchesPerConfigAcrossThreadCounts) {
+  const Fixture& f = fixture();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    util::ThreadPool pool(threads);
+    const SweepRunner runner(f.output.sorted, f.read_only, pool);
+    expect_matches_reference(runner);
+  }
+}
+
+TEST(SweepDifferential, PerConfigModeIsAlsoThreadCountInvariant) {
+  // The reference mode itself must not depend on the pool either, or the
+  // differential baseline would be ill-defined.
+  const Fixture& f = fixture();
+  util::ThreadPool pool(8);
+  const SweepRunner runner(f.output.sorted, f.read_only, pool);
+  const auto compute = runner.run_compute(f.compute_configs,
+                                          SweepMode::kPerConfig);
+  for (std::size_t i = 0; i < compute.size(); ++i) {
+    expect_identical(f.compute_reference[i], compute[i], i);
+  }
+  const auto io = runner.run_io(f.io_configs, SweepMode::kPerConfig);
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    expect_identical(f.io_reference[i], io[i], i);
+  }
+}
+
+TEST(SweepDifferential, PlansCoverEveryConfigWithFewerPasses) {
+  const Fixture& f = fixture();
+  const SweepPlan compute_plan = plan_compute_sweep(f.compute_configs);
+  EXPECT_EQ(compute_plan.configs(), f.compute_configs.size());
+  EXPECT_EQ(compute_plan.passes(), 1u);       // one block size -> one pass
+  EXPECT_EQ(compute_plan.simulated_points(), 3u);  // {1, 10, 50}, 10 deduped
+
+  const SweepPlan io_plan = plan_io_sweep(f.io_configs);
+  EXPECT_EQ(io_plan.configs(), f.io_configs.size());
+  EXPECT_LT(io_plan.passes(), f.io_configs.size() / 2);
+  std::size_t stack_passes = 0;
+  std::size_t batched_passes = 0;
+  for (const SweepGroup& g : io_plan.groups) {
+    if (g.kind == SweepGroup::Kind::kStack) ++stack_passes;
+    if (g.kind == SweepGroup::Kind::kBatched) ++batched_passes;
+    if (g.kind == SweepGroup::Kind::kStack ||
+        g.kind == SweepGroup::Kind::kBatched) {
+      EXPECT_GT(g.configs, 1u);
+    }
+    EXPECT_LE(g.simulated, g.configs);
+  }
+  // The main grid: one LRU stack pass; FIFO and IP-aware batched passes.
+  EXPECT_EQ(stack_passes, 1u);
+  EXPECT_EQ(batched_passes, 2u);
+  EXPECT_FALSE(io_plan.describe().empty());
+}
+
+}  // namespace
+}  // namespace charisma::cache

@@ -74,6 +74,10 @@ std::vector<IoNodeSimConfig> io_points() {
   combined.total_buffers = 200;
   combined.compute_buffers_per_node = 1;
   configs.push_back(combined);
+  IoNodeSimConfig ip_aware;  // ablation B: no inclusion property either
+  ip_aware.total_buffers = 200;
+  ip_aware.policy = Policy::kInterprocessAware;
+  configs.push_back(ip_aware);
   return configs;
 }
 
@@ -141,6 +145,75 @@ TEST(SweepRunner, AgreesWithTheDirectSimulators) {
   const auto io_results = runner.run_io(io);
   for (std::size_t i = 0; i < io.size(); ++i) {
     expect_same(io_results[i], simulate_io_cache(trace, ro, io[i]));
+  }
+}
+
+TEST(SweepRunner, GroupedModeMatchesPerConfigMode) {
+  const auto trace = mixed_trace();
+  const auto ro = read_only_for(trace);
+  const SweepRunner runner(trace, ro);  // serial: no pool needed
+
+  const auto cc = compute_points();
+  const auto compute_ref = runner.run_compute(cc, SweepMode::kPerConfig);
+  const auto compute_grp = runner.run_compute(cc, SweepMode::kGrouped);
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    expect_same(compute_ref[i], compute_grp[i]);
+  }
+  const auto io = io_points();
+  const auto io_ref = runner.run_io(io, SweepMode::kPerConfig);
+  const auto io_grp = runner.run_io(io, SweepMode::kGrouped);
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    expect_same(io_ref[i], io_grp[i]);
+  }
+}
+
+TEST(SweepRunner, PlansDescribeTheGroupedPasses) {
+  const SweepPlan compute_plan = plan_compute_sweep(compute_points());
+  EXPECT_EQ(compute_plan.passes(), 1u);
+  EXPECT_EQ(compute_plan.configs(), 3u);
+  EXPECT_EQ(compute_plan.simulated_points(), 3u);
+  ASSERT_EQ(compute_plan.groups.size(), 1u);
+  EXPECT_EQ(compute_plan.groups[0].kind, SweepGroup::Kind::kStack);
+
+  // io_points(): 3 buffer counts x {LRU, FIFO} + a §4.8 front point + an
+  // IP-aware point -> one LRU stack pass, one FIFO batched pass, and two
+  // single-point replays.
+  const SweepPlan io_plan = plan_io_sweep(io_points());
+  EXPECT_EQ(io_plan.configs(), 8u);
+  EXPECT_EQ(io_plan.passes(), 4u);
+  std::size_t stack = 0, batched = 0, replay = 0;
+  for (const SweepGroup& g : io_plan.groups) {
+    switch (g.kind) {
+      case SweepGroup::Kind::kStack: ++stack; break;
+      case SweepGroup::Kind::kBatched: ++batched; break;
+      case SweepGroup::Kind::kReplay: ++replay; break;
+    }
+  }
+  EXPECT_EQ(stack, 1u);
+  EXPECT_EQ(batched, 1u);
+  EXPECT_EQ(replay, 2u);
+  EXPECT_FALSE(io_plan.describe().empty());
+}
+
+TEST(SweepRunner, SerialRunnerMatchesPooledRunner) {
+  const auto trace = mixed_trace();
+  const auto ro = read_only_for(trace);
+  util::ThreadPool pool(4);
+  const SweepRunner pooled(trace, ro, pool);
+  const SweepRunner serial(trace, ro);
+  EXPECT_EQ(serial.replay_ops(), pooled.replay_ops());
+
+  const auto cc = compute_points();
+  const auto io = io_points();
+  const auto compute_s = serial.run_compute(cc);
+  const auto compute_p = pooled.run_compute(cc);
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    expect_same(compute_s[i], compute_p[i]);
+  }
+  const auto io_s = serial.run_io(io);
+  const auto io_p = pooled.run_io(io);
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    expect_same(io_s[i], io_p[i]);
   }
 }
 

@@ -97,6 +97,12 @@ int main(int argc, char** argv) {
   options.threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
   options.collect_figures = flags.get_bool("figures", true);
+  if (options.collect_figures) {
+    // How many trace passes the cache figures cost per replication, so
+    // throughput comparisons across versions are self-describing.
+    std::printf("figure sweep plan: %s\n",
+                core::describe_figure_sweep_plan().c_str());
+  }
   const core::CampaignRunner runner(options);
 
   const auto start = WallClock::now();

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the Release tree and records an end-to-end perf study into
 # BENCH_study.json at the repository root.  The file holds the measured
-# stage timings for the default (bucketed-queue) engine, the same run under
-# the reference heap queue, and — when a pre-change baseline file is passed
-# — the end-to-end speedup against it, so perf regressions show up as diffs.
+# stage timings for the default (bucketed-queue, grouped-sweep) engine, the
+# same run under the reference heap queue, the same run with the reference
+# per-config sweep mode, and — when a pre-change baseline file is passed —
+# the end-to-end speedup against it, so perf regressions show up as diffs.
 #
 # Usage: tools/record_bench.sh [scale] [threads] [baseline.json] [reps]
 #   scale          workload scale (default 0.2)
@@ -33,26 +34,29 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_study charisma_campaign > /de
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-run_queue() { # queue-kind -> $TMP/<kind>.json  (best of $REPS by total)
-  echo "[record_bench] measuring $1 queue (scale=$SCALE threads=$THREADS, best of $REPS)..."
+run_case() { # label queue sweep-mode -> $TMP/<label>.json (best of $REPS by total)
+  local label="$1" queue="$2" sweep="$3"
+  echo "[record_bench] measuring $label ($queue queue, $sweep sweep, scale=$SCALE threads=$THREADS, best of $REPS)..."
   local best=""
   for rep in $(seq 1 "$REPS"); do
     "$BUILD/bench/perf_study" --scale="$SCALE" --threads="$THREADS" \
-        --queue="$1" --out="$TMP/$1.rep$rep.json" > /dev/null
+        --queue="$queue" --sweep-mode="$sweep" \
+        --out="$TMP/$label.rep$rep.json" > /dev/null 2> /dev/null
     local total
-    total="$(jq '.stages_ms.total' "$TMP/$1.rep$rep.json")"
+    total="$(jq '.stages_ms.total' "$TMP/$label.rep$rep.json")"
     echo "[record_bench]   rep $rep: total ${total} ms"
     if [ -z "$best" ] || \
-       jq -e --argjson t "$total" '.stages_ms.total > $t' "$TMP/$1.json" \
+       jq -e --argjson t "$total" '.stages_ms.total > $t' "$TMP/$label.json" \
            > /dev/null; then
       best="$rep"
-      cp "$TMP/$1.rep$rep.json" "$TMP/$1.json"
+      cp "$TMP/$label.rep$rep.json" "$TMP/$label.json"
     fi
   done
 }
 
-run_queue bucketed
-run_queue reference
+run_case bucketed bucketed grouped
+run_case reference reference grouped
+run_case per_config_sweep bucketed per-config
 
 # Campaign throughput: two seed replications at the same scale, fanned over
 # the requested worker threads (0 = hardware concurrency).
@@ -74,6 +78,7 @@ fi
 jq -n \
   --slurpfile cur "$TMP/bucketed.json" \
   --slurpfile ref "$TMP/reference.json" \
+  --slurpfile sweep_ref "$TMP/per_config_sweep.json" \
   --slurpfile base "$TMP/baseline.json" \
   --arg kernel "$(uname -sr)" \
   --arg recorded "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -87,6 +92,7 @@ jq -n \
      host: {kernel: $kernel, cores: $cores},
      current: $cur[0],
      reference_queue: $ref[0],
+     per_config_sweep: $sweep_ref[0],
      baseline_pre_change: $base[0],
      campaign: {
        studies: $campaign_studies,
@@ -99,9 +105,14 @@ jq -n \
          ($ref[0].stages_ms.study / $cur[0].stages_ms.study),
        end_to_end_vs_reference_queue:
          ($ref[0].stages_ms.total / $cur[0].stages_ms.total),
+       sweep_grouped_vs_per_config:
+         ($sweep_ref[0].stages_ms.sweep / $cur[0].stages_ms.sweep),
        end_to_end_vs_baseline:
          (if $base[0] == null then null
-          else $base[0].stages_ms.total / $cur[0].stages_ms.total end)
+          else $base[0].stages_ms.total / $cur[0].stages_ms.total end),
+       sweep_stage_vs_baseline:
+         (if $base[0] == null then null
+          else $base[0].stages_ms.sweep / $cur[0].stages_ms.sweep end)
      }
    }' > BENCH_study.json
 
