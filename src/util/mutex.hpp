@@ -1,0 +1,46 @@
+// util::Mutex — std::mutex with Clang Thread Safety Analysis capability
+// annotations, plus a MutexLock RAII guard the analysis tracks.
+//
+// libstdc++'s std::mutex has no capability annotations, so a member declared
+// CHARISMA_GUARDED_BY(some_std_mutex) teaches the analysis nothing.  This
+// wrapper is API-compatible where the tree needs it (BasicLockable plus
+// try_lock), so std::condition_variable_any can wait on it directly.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace charisma::util {
+
+class CHARISMA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CHARISMA_ACQUIRE() { impl_.lock(); }
+  void unlock() CHARISMA_RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() CHARISMA_TRY_ACQUIRE(true) {
+    return impl_.try_lock();
+  }
+
+ private:
+  std::mutex impl_;
+};
+
+/// std::lock_guard equivalent the analysis understands: holding a MutexLock
+/// is holding the mutex, for the analysis and for real.
+class CHARISMA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CHARISMA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CHARISMA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace charisma::util

@@ -1,0 +1,47 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Under clang with -Wthread-safety these expand to the static-analysis
+// attributes that let the compiler prove every access to a mutex-guarded
+// member happens under its mutex; everywhere else they expand to nothing.
+// Used together with util::Mutex (util/mutex.hpp), the one lockable type in
+// the tree the analysis understands (libstdc++'s std::mutex carries no
+// capability annotations).
+//
+// Built with -DCHARISMA_THREAD_SAFETY=ON (clang only) the warnings are
+// errors; see docs/static-analysis.md for the full story.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CHARISMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CHARISMA_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CHARISMA_CAPABILITY(x) CHARISMA_THREAD_ANNOTATION(capability(x))
+
+#define CHARISMA_SCOPED_CAPABILITY CHARISMA_THREAD_ANNOTATION(scoped_lockable)
+
+#define CHARISMA_GUARDED_BY(x) CHARISMA_THREAD_ANNOTATION(guarded_by(x))
+
+#define CHARISMA_PT_GUARDED_BY(x) CHARISMA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define CHARISMA_ACQUIRE(...) \
+  CHARISMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define CHARISMA_RELEASE(...) \
+  CHARISMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define CHARISMA_TRY_ACQUIRE(...) \
+  CHARISMA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define CHARISMA_REQUIRES(...) \
+  CHARISMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define CHARISMA_EXCLUDES(...) \
+  CHARISMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define CHARISMA_RETURN_CAPABILITY(x) \
+  CHARISMA_THREAD_ANNOTATION(lock_returned(x))
+
+#define CHARISMA_NO_THREAD_SAFETY_ANALYSIS \
+  CHARISMA_THREAD_ANNOTATION(no_thread_safety_analysis)

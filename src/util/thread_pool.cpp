@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -35,16 +35,18 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const MutexLock lock(mutex_);
+  // Explicit wait loop (not the predicate overload): the thread safety
+  // analysis can then see every guarded read happens with mutex_ held.
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -52,7 +54,7 @@ void ThreadPool::worker_loop() {
     }
     task();  // exceptions are captured into the packaged_task's future
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
     }
     idle_cv_.notify_all();

@@ -10,10 +10,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace charisma::util {
 
@@ -42,12 +44,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  // condition_variable_any waits on the annotated Mutex directly.
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
+  std::queue<std::packaged_task<void()>> queue_ CHARISMA_GUARDED_BY(mutex_);
+  std::size_t in_flight_ CHARISMA_GUARDED_BY(mutex_) = 0;
+  bool stop_ CHARISMA_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, n), split into contiguous chunks across the

@@ -14,6 +14,9 @@ std::vector<const FileSession*> sorted_view(const SessionStore& store) {
   std::vector<const FileSession*> v;
   v.reserve(store.sessions().size());
   for (const auto& s : store.sessions()) v.push_back(&s);
+  // Audited: the comparator orders by the stable (job, file) key, never by
+  // pointer value.
+  // NOLINTNEXTLINE(charisma-pointer-order)
   std::sort(v.begin(), v.end(), [](const FileSession* a, const FileSession* b) {
     return std::tie(a->job, a->file) < std::tie(b->job, b->file);
   });

@@ -217,6 +217,37 @@ TEST(SweepRunner, SerialRunnerMatchesPooledRunner) {
   }
 }
 
+TEST(SweepRunner, PassesExecutedLedgerMatchesThePlan) {
+  // The grouped-mode speedup claim is "fewer trace passes for the same
+  // results"; passes_executed() is the ledger that makes it checkable.
+  const auto trace = mixed_trace();
+  const auto ro = read_only_for(trace);
+  const auto cc = compute_points();
+  const auto io = io_points();
+
+  const SweepRunner grouped(trace, ro);
+  EXPECT_EQ(grouped.passes_executed(), 0u);
+  (void)grouped.run_compute(cc, SweepMode::kGrouped);
+  EXPECT_EQ(grouped.passes_executed(), plan_compute_sweep(cc).passes());
+  (void)grouped.run_io(io, SweepMode::kGrouped);
+  EXPECT_EQ(grouped.passes_executed(),
+            plan_compute_sweep(cc).passes() + plan_io_sweep(io).passes());
+
+  // Per-config mode replays once per config — strictly more passes here.
+  const SweepRunner per_config(trace, ro);
+  (void)per_config.run_compute(cc, SweepMode::kPerConfig);
+  (void)per_config.run_io(io, SweepMode::kPerConfig);
+  EXPECT_EQ(per_config.passes_executed(), cc.size() + io.size());
+  EXPECT_GT(per_config.passes_executed(), grouped.passes_executed());
+
+  // The ledger is schedule-independent: a pooled runner counts the same.
+  util::ThreadPool pool(4);
+  const SweepRunner pooled(trace, ro, pool);
+  (void)pooled.run_compute(cc, SweepMode::kGrouped);
+  (void)pooled.run_io(io, SweepMode::kGrouped);
+  EXPECT_EQ(pooled.passes_executed(), grouped.passes_executed());
+}
+
 TEST(SweepRunner, PreparesOnlyDataRequests) {
   trace::SortedTrace t;
   t.records.push_back(data(EventKind::kRead, 1, 0, 1, 0, 100));

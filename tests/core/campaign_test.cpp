@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace charisma::core {
 namespace {
@@ -72,6 +74,35 @@ TEST(CampaignTest, DistinctSeedsYieldDistinctDigests) {
   EXPECT_NE(result.studies[0].trace_digest, result.studies[1].trace_digest);
   EXPECT_GT(result.studies[0].records, 0u);
   EXPECT_GT(result.studies[1].records, 0u);
+}
+
+TEST(CampaignTest, ProgressCallbackCountsEveryStudyExactlyOnce) {
+  const auto studies = four_studies();
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  CampaignOptions options{.threads = 4};
+  // The runner invokes on_progress under its own mutex, so plain
+  // containers are safe here even with four workers.
+  options.on_progress = [&seen](std::size_t done, std::size_t total) {
+    seen.emplace_back(done, total);
+  };
+  const CampaignRunner runner(options);
+  EXPECT_EQ(runner.completed(), 0u);
+
+  (void)runner.run(studies);
+  ASSERT_EQ(seen.size(), studies.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, i + 1);  // monotone: 1, 2, ..., total
+    EXPECT_EQ(seen[i].second, studies.size());
+  }
+  EXPECT_EQ(runner.completed(), studies.size());
+
+  // Each run() starts its own count; the ledger never accumulates across
+  // campaigns.
+  seen.clear();
+  (void)runner.run(seed_replications(smoke_base(), 2));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), (std::pair<std::size_t, std::size_t>{2u, 2u}));
+  EXPECT_EQ(runner.completed(), 2u);
 }
 
 TEST(CampaignTest, SummariesCarryMeasuredFractions) {

@@ -1,0 +1,45 @@
+// Deliberately hazardous input for the concurrency-rule golden tests.
+// Never compiled — only scanned.  Line numbers are load-bearing: the golden
+// file pins every finding to its line.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+void shared_captures(util::ThreadPool& pool) {
+  int hits = 0;
+  const int limit = 8;
+  util::parallel_for(pool, 8, [&hits](std::size_t) { ++hits; });
+  util::parallel_for(pool, 8, [&](std::size_t i) { (void)i; });
+  util::parallel_for(pool, 8, [&limit](std::size_t i) { (void)(i + limit); });
+  util::parallel_for(pool, 8, [hits](std::size_t i) { (void)(i + hits); });
+  pool.submit([&hits] { ++hits; });
+  // Audited example of the escape hatch: per-index slots, no sharing.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  util::parallel_for(pool, 8, [&hits](std::size_t) { ++hits; });
+}
+
+void named_lambda(util::ThreadPool& pool) {
+  int total_ops = 0;
+  const auto bump = [&total_ops](std::size_t) { ++total_ops; };
+  util::parallel_for(pool, 4, bump);
+}
+
+void parallel_fold(util::ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  util::parallel_for(pool, xs.size(),
+                     // NOLINTNEXTLINE(charisma-shared-capture)
+                     [&](std::size_t i) { total += xs[i]; });
+}
+
+void pointer_order(std::vector<Node*>& nodes) {
+  std::map<Node*, int> by_node;
+  std::set<const Node*> seen;
+  std::sort(nodes.begin(), nodes.end());
+  (void)by_node;
+  (void)seen;
+}

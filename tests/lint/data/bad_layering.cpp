@@ -1,0 +1,13 @@
+// Deliberately mis-layered input for the charisma-layering golden test.
+// Never compiled — only scanned as a src/net/ file (rank 1).  Line numbers
+// are load-bearing: the golden file pins every finding to its line.
+#include <vector>
+
+#include "util/stats.hpp"
+#include "net/forwarding.hpp"
+#include "analysis/session.hpp"
+#include "disk/disk.hpp"
+// NOLINTNEXTLINE(charisma-layering)
+#include "core/campaign.hpp"
+
+void use() {}

@@ -1,0 +1,14 @@
+// Deliberately stale suppressions for the charisma-unused-suppression
+// golden test.  Never compiled — only scanned.  Line numbers are
+// load-bearing: the golden file pins every finding to its line.
+
+long fine() {
+  return 42;  // NOLINT(charisma-wallclock)
+}
+
+long genuinely_suppressed() {
+  return time(nullptr);  // NOLINT(charisma-wallclock)
+}
+
+// NOLINTNEXTLINE(charisma-raw-random)
+int also_fine() { return 7; }

@@ -122,10 +122,11 @@ TEST(LintRules, NolintSuppressesOnSameLine) {
           .empty());
   // Bare NOLINT suppresses everything on the line.
   EXPECT_TRUE(rules_fired("float f = rand();  // NOLINT\n").empty());
-  // A different rule's NOLINT does not.
-  EXPECT_EQ(rules_fired("long t = time(nullptr);  "
-                        "// NOLINT(charisma-raw-random)\n"),
-            std::vector<std::string>{"charisma-wallclock"});
+  // A different rule's NOLINT does not (and is itself stale -> audited).
+  const auto fired = rules_fired(
+      "long t = time(nullptr);  // NOLINT(charisma-raw-random)\n");
+  EXPECT_EQ(fired, (std::vector<std::string>{
+                       "charisma-unused-suppression", "charisma-wallclock"}));
 }
 
 TEST(LintRules, NolintNextLine) {
@@ -140,6 +141,263 @@ TEST(LintRules, UnknownCharismaSuppressionIsItselfAFinding) {
   EXPECT_EQ(fired, std::vector<std::string>{"charisma-unknown-suppression"});
   // Non-charisma rule names (clang-tidy's) are none of our business.
   EXPECT_TRUE(rules_fired("int x = 0;  // NOLINT(bugprone-foo)\n").empty());
+}
+
+TEST(LintRules, UnusedSuppressionIsItselfAFinding) {
+  const auto findings = scan_source(
+      "test.cpp", "int x = 0;  // NOLINT(charisma-wallclock)\n", sensitive());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "charisma-unused-suppression");
+  EXPECT_EQ(findings[0].line, 1);
+  // NOLINTNEXTLINE audits against the next line, not the comment's.
+  EXPECT_EQ(rules_fired("// NOLINTNEXTLINE(charisma-raw-random)\n"
+                        "int x = 0;\n"),
+            std::vector<std::string>{"charisma-unused-suppression"});
+  // A suppression that genuinely fires is not reported.
+  EXPECT_TRUE(rules_fired("// NOLINTNEXTLINE(charisma-raw-random)\n"
+                          "int x = rand();\n")
+                  .empty());
+}
+
+// ---- charisma-shared-capture ----------------------------------------------
+
+TEST(LintCapture, ByRefCaptureIntoParallelForFires) {
+  EXPECT_EQ(rules_fired("void f(util::ThreadPool& pool) {\n"
+                        "  int hits = 0;\n"
+                        "  parallel_for(pool, 8, [&hits](std::size_t) {\n"
+                        "    ++hits;\n"
+                        "  });\n"
+                        "}\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+}
+
+TEST(LintCapture, DefaultCaptureFormsAreClassified) {
+  // [&] fires; [=] copies and is safe.
+  EXPECT_EQ(rules_fired("parallel_for(pool, 8, [&](std::size_t i) {"
+                        " use(i); });\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+  EXPECT_TRUE(rules_fired("parallel_for(pool, 8, [=](std::size_t i) {"
+                          " use(i); });\n")
+                  .empty());
+}
+
+TEST(LintCapture, ConstAndAtomicLocalsAreSafeByReference) {
+  EXPECT_TRUE(rules_fired("const int limit = 3;\n"
+                          "parallel_for(pool, 8, [&limit](std::size_t i) {"
+                          " use(i, limit); });\n")
+                  .empty());
+  EXPECT_TRUE(rules_fired("std::atomic<int> count{0};\n"
+                          "parallel_for(pool, 8, [&count](std::size_t) {"
+                          " ++count; });\n")
+                  .empty());
+}
+
+TEST(LintCapture, NestedAndVariadicLambdas) {
+  // A nested lambda inside the submitted body still runs on the worker.
+  EXPECT_EQ(rules_fired("int n = 0;\n"
+                        "pool.submit([] {\n"
+                        "  auto inner = [&n] { ++n; };\n"
+                        "  inner();\n"
+                        "});\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+  // Variadic pack capture by reference: the dots don't hide the name.
+  EXPECT_EQ(rules_fired("int args = 0;\n"
+                        "pool.submit([&args...] { use(args...); });\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+}
+
+TEST(LintCapture, InitCaptures) {
+  // Init capture by value is a copy: safe.
+  EXPECT_TRUE(rules_fired("int n = 0;\n"
+                          "pool.submit([m = n] { use(m); });\n")
+                  .empty());
+  // Init capture by reference to a mutable local is a shared reference.
+  EXPECT_EQ(rules_fired("int n = 0;\n"
+                        "pool.submit([&m = n] { ++m; });\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+  // ...but a reference alias to a const local is safe.
+  EXPECT_TRUE(rules_fired("const int n = 0;\n"
+                          "pool.submit([&m = n] { use(m); });\n")
+                  .empty());
+}
+
+TEST(LintCapture, NamedLambdaTracedToItsCaptures) {
+  const auto findings = scan_source(
+      "test.cpp",
+      "void f(util::ThreadPool& pool) {\n"
+      "  int total = 0;\n"
+      "  const auto body = [&total](std::size_t) { ++total; };\n"
+      "  parallel_for(pool, 4, body);\n"
+      "}\n",
+      sensitive());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "charisma-shared-capture");
+  EXPECT_EQ(findings[0].line, 4);  // anchored at the sink call
+  EXPECT_NE(findings[0].message.find("'body'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'total'"), std::string::npos);
+}
+
+TEST(LintCapture, SubmitNeedsAPoolReceiver) {
+  // Disk::submit is a simulated-disk request, not a task sink.
+  EXPECT_TRUE(rules_fired("int n = 0;\n"
+                          "disk_->submit([&n] { ++n; });\n")
+                  .empty());
+  EXPECT_TRUE(rules_fired("int n = 0;\n"
+                          "d.submit(request);\n")
+                  .empty());
+  // Any pool-ish receiver counts, member pools included.
+  EXPECT_EQ(rules_fired("int n = 0;\n"
+                        "pool_->submit([&n] { ++n; });\n"),
+            std::vector<std::string>{"charisma-shared-capture"});
+}
+
+TEST(LintCapture, SubscriptsAndAttributesAreNotCaptureLists) {
+  EXPECT_TRUE(rules_fired("parallel_for(pool, n, body);\n"
+                          "int x = xs[i];\n")
+                  .empty());
+  EXPECT_TRUE(
+      rules_fired("pool.submit(tasks[i]);\n [[nodiscard]] int f();\n")
+          .empty());
+}
+
+// ---- charisma-pointer-order -----------------------------------------------
+
+TEST(LintPointerOrder, PointerKeyedContainersFire) {
+  EXPECT_EQ(rules_fired("std::map<Node*, int> by_node;"),
+            std::vector<std::string>{"charisma-pointer-order"});
+  EXPECT_EQ(rules_fired("std::set<const Session*> seen;"),
+            std::vector<std::string>{"charisma-pointer-order"});
+  // Value types and smart handles by id are fine.
+  EXPECT_TRUE(rules_fired("std::map<std::uint64_t, int> by_id;").empty());
+  EXPECT_TRUE(rules_fired("std::set<std::string> names;").empty());
+}
+
+TEST(LintPointerOrder, SortingPointerVectorsFires) {
+  EXPECT_EQ(rules_fired("std::vector<Node*> v;\n"
+                        "std::sort(v.begin(), v.end());\n"),
+            std::vector<std::string>{"charisma-pointer-order"});
+  // Sorting a value vector is fine.
+  EXPECT_TRUE(rules_fired("std::vector<int> v;\n"
+                          "std::sort(v.begin(), v.end());\n")
+                  .empty());
+  // A pointer vector that is never sorted is fine.
+  EXPECT_TRUE(rules_fired("std::vector<Node*> v;\nuse(v);\n").empty());
+}
+
+// ---- charisma-parallel-fold -----------------------------------------------
+
+TEST(LintParallelFold, FloatAccumulationInParallelBodyFires) {
+  const auto fired = rules_fired(
+      "double total = 0.0;\n"
+      "// NOLINTNEXTLINE(charisma-shared-capture)\n"
+      "parallel_for(pool, n, [&](std::size_t i) { total += xs[i]; });\n");
+  EXPECT_EQ(fired, std::vector<std::string>{"charisma-parallel-fold"});
+}
+
+TEST(LintParallelFold, IntegerAndSerialFoldsAreFine) {
+  // Integer accumulation commutes: no finding.
+  EXPECT_TRUE(
+      rules_fired("long total = 0;\n"
+                  "// NOLINTNEXTLINE(charisma-shared-capture)\n"
+                  "parallel_for(pool, n, [&](std::size_t i) {"
+                  " total += xs[i]; });\n")
+          .empty());
+  // A double fold outside any parallel body is fine.
+  EXPECT_TRUE(rules_fired("double total = 0.0;\n"
+                          "for (double x : xs) total += x;\n")
+                  .empty());
+  // Per-index slot writes are the sanctioned pattern.
+  EXPECT_TRUE(
+      rules_fired("// NOLINTNEXTLINE(charisma-shared-capture)\n"
+                  "parallel_for(pool, n, [&](std::size_t i) {"
+                  " out[i] = f(i); });\n")
+          .empty());
+}
+
+// ---- charisma-layering ----------------------------------------------------
+
+TEST(LintLayering, RanksFollowTheDag) {
+  EXPECT_EQ(layer_rank_of("util"), 0);
+  EXPECT_LT(layer_rank_of("util"), layer_rank_of("sim"));
+  EXPECT_LT(layer_rank_of("sim"), layer_rank_of("ipsc"));
+  EXPECT_LT(layer_rank_of("ipsc"), layer_rank_of("cfs"));
+  EXPECT_LT(layer_rank_of("cfs"), layer_rank_of("trace"));
+  EXPECT_LT(layer_rank_of("trace"), layer_rank_of("cache"));
+  EXPECT_LT(layer_rank_of("cache"), layer_rank_of("analysis"));
+  EXPECT_LT(layer_rank_of("analysis"), layer_rank_of("core"));
+  EXPECT_LT(layer_rank_of("core"), layer_rank_of("tools"));
+  EXPECT_LT(layer_rank_of("tools"), layer_rank_of("tests"));
+  EXPECT_EQ(layer_rank_of("cache"), layer_rank_of("workload"));
+  EXPECT_EQ(layer_rank_of("no-such-module"), -1);
+}
+
+TEST(LintLayering, BackEdgesFire) {
+  const auto cls = classify_path("src/net/forwarding.cpp");
+  EXPECT_EQ(cls.module, "net");
+  const auto findings = scan_source("src/net/forwarding.cpp",
+                                    "#include \"analysis/session.hpp\"\n",
+                                    cls);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "charisma-layering");
+  EXPECT_NE(findings[0].message.find("back-edge"), std::string::npos);
+}
+
+TEST(LintLayering, LateralEdgesFire) {
+  const auto findings =
+      scan_source("src/net/forwarding.cpp", "#include \"disk/disk.hpp\"\n",
+                  classify_path("src/net/forwarding.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "charisma-layering");
+  EXPECT_NE(findings[0].message.find("lateral"), std::string::npos);
+}
+
+TEST(LintLayering, DownwardSameModuleAndSystemIncludesAreFine) {
+  const auto cls = classify_path("src/core/campaign.cpp");
+  EXPECT_TRUE(scan_source("src/core/campaign.cpp",
+                          "#include <vector>\n"
+                          "#include \"core/study.hpp\"\n"
+                          "#include \"analysis/figures.hpp\"\n"
+                          "#include \"util/stats.hpp\"\n",
+                          cls)
+                  .empty());
+  // Tools sit above every src module.
+  EXPECT_TRUE(scan_source("tools/charisma_lint.cpp",
+                          "#include \"core/campaign.hpp\"\n",
+                          classify_path("tools/charisma_lint.cpp"))
+                  .empty());
+  // Files with no module (e.g. a stray root file) skip the pass.
+  EXPECT_TRUE(scan_source("scratch.cpp",
+                          "#include \"analysis/session.hpp\"\n",
+                          classify_path("scratch.cpp"))
+                  .empty());
+}
+
+TEST(LintLayering, ClassifyKnowsEveryTree) {
+  EXPECT_EQ(classify_path("src/util/rng.cpp").module, "util");
+  EXPECT_EQ(classify_path("src/cache/simulators.cpp").module, "cache");
+  EXPECT_EQ(classify_path("tests/util/misc_test.cpp").module, "tests");
+  EXPECT_EQ(classify_path("examples/cache_tuning.cpp").module, "examples");
+  EXPECT_EQ(classify_path("bench/perf_study.cpp").module, "bench");
+  EXPECT_EQ(classify_path("tools/charisma_lint.cpp").module, "tools");
+  EXPECT_TRUE(classify_path("tests/lint/data/bad_layering.cpp").lint_fixture);
+  // Fixtures are never scanned, whatever hazards they hold.
+  EXPECT_TRUE(scan_source("tests/lint/data/bad_layering.cpp",
+                          "float f = rand();\n",
+                          classify_path("tests/lint/data/bad_layering.cpp"))
+                  .empty());
+}
+
+// ---- output formats -------------------------------------------------------
+
+TEST(LintFormat, JsonEscapesAndShapes) {
+  std::vector<Finding> findings;
+  findings.push_back({"a\"b.cpp", 3, "charisma-wallclock", "msg \\ \"x\""});
+  const std::string json = format_json(findings);
+  EXPECT_NE(json.find("\"file\": \"a\\\"b.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"charisma-wallclock\""), std::string::npos);
+  EXPECT_NE(json.find("msg \\\\ \\\"x\\\""), std::string::npos);
+  EXPECT_EQ(format_json({}), "[]\n");
 }
 
 TEST(LintRules, FindingsAreDeterministicallySorted) {
@@ -163,41 +421,59 @@ TEST(LintRules, ClassifyPaths) {
   EXPECT_FALSE(classify_path("src/util/stats.cpp").rng_exempt);
 }
 
-// The golden test: every rule demonstrated on one crafted bad input, the
-// expected findings pinned line by line.
-TEST(LintGolden, BadInputMatchesGoldenFindings) {
+// The golden tests: each crafted bad input's findings pinned line by line,
+// and across all fixtures every rule must fire at least once.
+struct GoldenCase {
+  const char* fixture;
+  const char* label;
+};
+
+constexpr GoldenCase kGoldenCases[] = {
+    {"bad_determinism", "src/analysis/bad_determinism.cpp"},
+    {"bad_concurrency", "src/cache/bad_concurrency.cpp"},
+    {"bad_layering", "src/net/bad_layering.cpp"},
+    {"bad_suppression", "src/sim/bad_suppression.cpp"},
+};
+
+std::vector<Finding> golden_findings(const GoldenCase& c) {
   const std::string dir = CHARISMA_LINT_TEST_DATA_DIR;
-  std::ifstream bad(dir + "/bad_determinism.cpp", std::ios::binary);
-  ASSERT_TRUE(bad.is_open()) << "missing fixture in " << dir;
+  std::ifstream bad(dir + "/" + c.fixture + ".cpp", std::ios::binary);
+  EXPECT_TRUE(bad.is_open()) << "missing fixture in " << dir;
   std::stringstream src;
   src << bad.rdbuf();
+  return scan_source(c.label, src.str(), classify_path(c.label));
+}
 
-  const std::string label = "src/analysis/bad_determinism.cpp";
-  const auto findings =
-      scan_source(label, src.str(), classify_path(label));
+TEST(LintGolden, BadInputsMatchGoldenFindings) {
+  const std::string dir = CHARISMA_LINT_TEST_DATA_DIR;
+  for (const auto& c : kGoldenCases) {
+    SCOPED_TRACE(c.fixture);
+    std::vector<std::string> got;
+    for (const auto& f : golden_findings(c)) got.push_back(format(f));
 
-  std::vector<std::string> got;
-  for (const auto& f : findings) got.push_back(format(f));
-
-  std::ifstream golden_in(dir + "/bad_determinism.golden");
-  ASSERT_TRUE(golden_in.is_open());
-  std::vector<std::string> expected;
-  std::string line;
-  while (std::getline(golden_in, line)) {
-    if (!line.empty()) expected.push_back(line);
+    std::ifstream golden_in(dir + "/" + c.fixture + ".golden");
+    ASSERT_TRUE(golden_in.is_open());
+    std::vector<std::string> expected;
+    std::string line;
+    while (std::getline(golden_in, line)) {
+      if (!line.empty()) expected.push_back(line);
+    }
+    EXPECT_EQ(got, expected);
   }
-  EXPECT_EQ(got, expected);
+}
 
-  // Every rule except the suppressed wallclock escape hatch must appear.
+TEST(LintGolden, EveryRuleFiresSomewhereInTheFixtures) {
   std::set<std::string> fired;
-  for (const auto& f : findings) fired.insert(f.rule);
+  for (const auto& c : kGoldenCases) {
+    for (const auto& f : golden_findings(c)) fired.insert(f.rule);
+  }
   for (const auto& rule : known_rules()) {
     EXPECT_TRUE(fired.count(rule) > 0) << "rule never fired: " << rule;
   }
 }
 
 TEST(LintGolden, ListsAllKnownRules) {
-  EXPECT_EQ(known_rules().size(), 5u);
+  EXPECT_EQ(known_rules().size(), 10u);
 }
 
 }  // namespace

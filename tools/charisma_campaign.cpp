@@ -14,6 +14,9 @@
 //   --figures: sample per-figure curves and fold envelope bands across the
 //              replications (default 1; 0 skips the analyzer/cache replays
 //              for pure-throughput runs)
+//   --progress: print "finished/total" to stderr as studies complete
+//              (stderr only, so the stdout determinism diffs in CI are
+//              unaffected)
 //   --out:     also write campaign_studies.tsv / campaign_aggregate.tsv
 //              plus one campaign_<figure>.tsv envelope per figure
 //
@@ -57,7 +60,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: charisma_campaign [--seeds=42,43] [--scales=0.2] "
                "[--threads=N] [--queue=bucketed|heap] [--smoke] "
-               "[--figures=0|1] [--out=DIR]\n");
+               "[--figures=0|1] [--progress] [--out=DIR]\n");
   return 2;
 }
 
@@ -66,7 +69,7 @@ int usage() {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"seeds", "scales", "threads", "queue", "smoke",
-                     "figures", "out"});
+                     "figures", "progress", "out"});
   if (flags.remaining_argc() > 1) return usage();
 
   std::vector<std::uint64_t> seeds;
@@ -102,6 +105,13 @@ int main(int argc, char** argv) {
     // throughput comparisons across versions are self-describing.
     std::printf("figure sweep plan: %s\n",
                 core::describe_figure_sweep_plan().c_str());
+  }
+  if (flags.get_bool("progress", false)) {
+    // stderr, never stdout: the stdout study/digest lines are the
+    // determinism contract CI diffs across thread counts.
+    options.on_progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "progress: %zu/%zu studies\n", done, total);
+    };
   }
   const core::CampaignRunner runner(options);
 

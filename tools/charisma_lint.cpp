@@ -1,22 +1,46 @@
-// charisma_lint — determinism guard for the CHARISMA tree.
+// charisma_lint — determinism and concurrency-safety guard for the tree.
 //
-// Scans <root>/{src,bench,tools} for the hazards that break the simulator's
-// determinism contract (see tools/lint_rules.hpp and docs/determinism.md).
-// Registered as a ctest test, so `ctest` fails the build the moment a
-// wall-clock read, raw rand(), float, or hash-order iteration lands in a
-// result-producing path.
+// Scans <root>/{src,bench,tools,tests,examples} for the hazards that break
+// the simulator's determinism contract (see tools/lint_rules.hpp and
+// docs/static-analysis.md): wall-clock reads, raw RNGs, floats, hash-order
+// iteration, shared-mutable lambda captures in parallel regions,
+// pointer-keyed ordering, parallel float folds, layering back-edges, and
+// stale suppressions.  Registered as a ctest test, so `ctest` fails the
+// build the moment one lands in a result-producing path.
 //
 // Usage:
-//   charisma_lint [root]          scan the tree (root defaults to ".")
-//   charisma_lint --list-rules    print the rule names and exit
+//   charisma_lint [root] [--rule=NAME ...] [--format=gcc|json]
+//   charisma_lint --list-rules
+//
+//   --rule=NAME   report only the named rule(s); repeatable
+//   --format=gcc  one "path:line: [rule] message" per line (default)
+//   --format=json a JSON array of {file, line, rule, message}
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or scan error.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "tools/lint_rules.hpp"
 
+namespace {
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "charisma_lint: %s\n", error);
+  std::fprintf(stderr,
+               "usage: charisma_lint [root] [--rule=NAME ...] "
+               "[--format=gcc|json] | --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "gcc";
+  std::vector<std::string> only_rules;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -26,14 +50,48 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: charisma_lint [root] | --list-rules\n");
+      std::printf(
+          "usage: charisma_lint [root] [--rule=NAME ...] "
+          "[--format=gcc|json] | --list-rules\n");
       return 0;
     }
+    if (arg.rfind("--rule=", 0) == 0) {
+      const std::string name = arg.substr(7);
+      const auto& known = charisma::lint::known_rules();
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        return usage(("unknown rule '" + name + "' (see --list-rules)")
+                         .c_str());
+      }
+      only_rules.push_back(name);
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "gcc" && format != "json") {
+        return usage("--format must be gcc or json");
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage(("unknown flag " + arg).c_str());
     root = arg;
   }
 
   try {
-    const auto findings = charisma::lint::scan_tree(root);
+    auto findings = charisma::lint::scan_tree(root);
+    if (!only_rules.empty()) {
+      findings.erase(
+          std::remove_if(findings.begin(), findings.end(),
+                         [&only_rules](const charisma::lint::Finding& f) {
+                           return std::find(only_rules.begin(),
+                                            only_rules.end(),
+                                            f.rule) == only_rules.end();
+                         }),
+          findings.end());
+    }
+    if (format == "json") {
+      std::fputs(charisma::lint::format_json(findings).c_str(), stdout);
+      return findings.empty() ? 0 : 1;
+    }
     for (const auto& f : findings) {
       std::printf("%s\n", charisma::lint::format(f).c_str());
     }
