@@ -11,6 +11,7 @@
 //   --scale=0.2            workload scale (same meaning as the fig* benches)
 //   --seed=42              workload seed
 //   --threads=0            sweep/session worker threads (0 = hardware)
+//   --engine-threads=1     event-engine threads (1 = serial; >1 sharded)
 //   --queue=bucketed       event queue: bucketed | reference
 //   --sweep-mode=grouped   cache sweep execution: grouped | per-config
 //   --out=<path>           also write the JSON there (stdout always)
@@ -111,11 +112,15 @@ void print_sweep_results(
 
 int run(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"scale", "seed", "threads", "queue", "sweep-mode", "out",
-                     "check-digest"});
+                    {"scale", "seed", "threads", "engine-threads", "queue",
+                     "sweep-mode", "out", "check-digest"});
   const double scale = flags.get_double("scale", 0.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const auto engine_threads =
+      static_cast<int>(flags.get_int("engine-threads", 1));
+  CHECK(engine_threads >= 1, "--engine-threads must be >= 1, got ",
+        engine_threads);
   const std::string queue_name = flags.get("queue", "bucketed");
   CHECK(queue_name == "bucketed" || queue_name == "reference",
         "--queue must be 'bucketed' or 'reference', got '", queue_name, "'");
@@ -132,6 +137,7 @@ int run(int argc, char** argv) {
   config.workload.seed = seed;
   config.queue = queue_name == "bucketed" ? sim::QueueKind::kBucketed
                                           : sim::QueueKind::kReferenceHeap;
+  config.engine_threads = engine_threads;
 
   const auto total_start = WallClock::now();
   auto stage_start = WallClock::now();
@@ -181,6 +187,17 @@ int run(int argc, char** argv) {
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
   json += "  \"seed\": " + std::to_string(seed) + ",\n";
   json += "  \"threads\": " + std::to_string(pool.thread_count()) + ",\n";
+  json += "  \"engine_threads\": " + std::to_string(engine_threads) + ",\n";
+  if (engine_threads > 1) {
+    const sim::ShardStats& shards = study.shard_stats;
+    json += "  \"engine_windows\": " + std::to_string(shards.windows) + ",\n";
+    json += "  \"engine_staged\": " + std::to_string(shards.staged) + ",\n";
+    json += "  \"engine_direct\": " + std::to_string(shards.direct) + ",\n";
+    json += "  \"engine_worker_tasks\": " +
+            std::to_string(shards.worker_tasks) + ",\n";
+    json += "  \"engine_inline_tasks\": " +
+            std::to_string(shards.inline_tasks) + ",\n";
+  }
   json += "  \"queue\": \"" + queue_name + "\",\n";
   json += "  \"sweep_mode\": \"" + sweep_mode_name + "\",\n";
   json += "  \"sweep_passes\": " + std::to_string(sweep_passes) + ",\n";

@@ -177,8 +177,11 @@ enum class SweepMode : std::uint8_t {
   kPerConfig,
   /// Group configs by (policy, topology, front-cache setting); LRU groups run
   /// one stack-simulation pass covering every buffer count (Mattson), the
-  /// rest run one batched replay stepping all configs per record.  Results
-  /// are bit-identical to kPerConfig (the differential tests enforce it).
+  /// rest run one batched replay stepping all configs per record.  Groups
+  /// left with a single point (the Figure 9 I/O-node-count spread, the §4.8
+  /// front singleton) fuse into one multi-topology pass stepping every
+  /// shape's own cache set per op.  Results are bit-identical to kPerConfig
+  /// (the differential tests enforce it).
   kGrouped,
 };
 
@@ -198,6 +201,10 @@ struct SweepGroup {
     kStack,    ///< single-pass LRU stack simulation, all buffer counts at once
     kBatched,  ///< one decode pass stepping every config per record
     kReplay,   ///< plain per-config replay (group has one distinct point)
+    /// Fused single-point topologies: one pass stepping several otherwise
+    /// ungroupable shapes (distinct io_nodes / front / policy) at once.
+    /// The displayed policy is the first folded member's.
+    kMulti,
   };
   Kind kind = Kind::kReplay;
   Policy policy = Policy::kLru;
@@ -210,6 +217,7 @@ struct SweepGroup {
     case SweepGroup::Kind::kStack: return "stack";
     case SweepGroup::Kind::kBatched: return "batched";
     case SweepGroup::Kind::kReplay: return "replay";
+    case SweepGroup::Kind::kMulti: return "multi";
   }
   return "?";
 }

@@ -13,6 +13,7 @@
 #include "cfs/runtime.hpp"
 #include "ipsc/machine.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded.hpp"
 #include "trace/collector.hpp"
 #include "trace/postprocess.hpp"
 #include "workload/driver.hpp"
@@ -29,6 +30,14 @@ struct StudyConfig {
   /// differential test holds them to the same trace digest), so this only
   /// matters for performance work.
   sim::QueueKind queue = sim::kDefaultQueueKind;
+  /// Engine threads: 1 runs the serial engine; N > 1 shards the machine's
+  /// logical processes across N calendar queues with conservative-window
+  /// synchronization (lookahead = the network model's minimum message
+  /// latency).  The trace digest is identical for every value.
+  int engine_threads = 1;
+  /// Runs the sharded coordinator even at one thread (differential tests
+  /// of the window protocol).
+  bool force_sharded_engine = false;
 };
 
 struct StudyOutput {
@@ -45,6 +54,10 @@ struct StudyOutput {
   std::uint64_t total_ops = 0;
   std::uint64_t events_dispatched = 0;  // engine events, for events/sec
   util::MicroSec sim_end = 0;
+  /// Engine threads the study ran with, and the sharded backend's window
+  /// counters (all zero when serial).
+  int engine_threads = 1;
+  sim::ShardStats shard_stats;
 };
 
 /// Runs the full study.  Deterministic in `config`.

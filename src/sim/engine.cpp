@@ -1,175 +1,86 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <bit>
+#include <utility>
 
+#include "sim/sharded.hpp"
 #include "util/check.hpp"
 
 namespace charisma::sim {
 
-namespace {
+Engine::Engine(QueueKind queue) : kind_(queue), queue_(queue) {}
 
-/// Orders events ascending by (at, seq) for the in-bucket sorted runs.
-struct Earlier {
-  bool operator()(const std::pair<MicroSec, std::uint64_t>& key,
-                  const auto& ev) const noexcept {
-    return key.first != ev.at ? key.first < ev.at : key.second < ev.seq;
-  }
-};
-
-}  // namespace
-
-// ---- BucketQueue -----------------------------------------------------------
-
-void Engine::BucketQueue::insert_in_window(Event&& ev) {
-  const auto idx = static_cast<std::size_t>((ev.at - window_start_) >>
-                                            kBucketShift);
-  DCHECK(idx < kBucketCount, "bucket index ", idx, " out of range");
-  Bucket& b = buckets_[idx];
-  if (b.head >= b.events.size()) {
-    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
-  }
-  // Keep [head, end) sorted by (at, seq).  seq grows monotonically, so the
-  // dominant schedule pattern (same or later timestamps) appends at the
-  // end; test for that with one compare before paying for upper_bound.
-  if (b.events.empty() || !Earlier{}(std::make_pair(ev.at, ev.seq),
-                                     b.events.back())) {
-    b.events.push_back(std::move(ev));
-  } else {
-    const auto pos = std::upper_bound(
-        b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
-        b.events.end(), std::make_pair(ev.at, ev.seq), Earlier{});
-    b.events.insert(pos, std::move(ev));
-  }
-  ++in_window_;
-  // A peek may already have advanced the cursor past this bucket; pull it
-  // back so the new event is not skipped.
-  cursor_ = std::min(cursor_, idx);
-}
-
-void Engine::BucketQueue::push(Event&& ev) {
-  if (ev.at < window_start_ + kSpan) {
-    // Engine::schedule_at guarantees ev.at >= now() >= window_start_.
-    insert_in_window(std::move(ev));
-  } else {
-    overflow_.push_back(std::move(ev));
-    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+Engine::Engine(const EngineOptions& options)
+    : kind_(options.queue), queue_(options.queue) {
+  if (options.threads > 1 || options.force_sharded) {
+    ShardedOptions sharded;
+    sharded.queue = options.queue;
+    sharded.shards = options.threads > 1 ? options.threads : 1;
+    sharded.lp_count = options.lp_count;
+    sharded.lookahead = options.lookahead;
+    sharded.worker_threads = options.threads - 1;
+    sharded_ = std::make_unique<ShardCoordinator>(sharded);
   }
 }
 
-void Engine::BucketQueue::migrate_overflow() {
-  DCHECK(in_window_ == 0 && !overflow_.empty(),
-         "migration needs an empty window and a populated overflow band");
-  // Rebase the window onto the earliest far event.  The caller pops that
-  // event immediately, so simulated time catches up to window_start_ before
-  // any schedule_at can target the gap below it.
-  window_start_ =
-      (overflow_.front().at >> kBucketShift) << kBucketShift;
-  cursor_ = 0;
-  const MicroSec window_end = window_start_ + kSpan;
-  while (!overflow_.empty() && overflow_.front().at < window_end) {
-    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
-    insert_in_window(std::move(overflow_.back()));
-    overflow_.pop_back();
-  }
-}
-
-std::size_t Engine::BucketQueue::next_live_bucket(std::size_t from) const {
-  std::size_t w = from >> 6;
-  std::uint64_t word = occupied_[w] >> (from & 63);
-  if (word != 0) return from + static_cast<std::size_t>(std::countr_zero(word));
-  do {
-    ++w;
-    DCHECK(w < occupied_.size(), "window count out of sync");
-  } while (occupied_[w] == 0);
-  return (w << 6) + static_cast<std::size_t>(std::countr_zero(occupied_[w]));
-}
-
-bool Engine::BucketQueue::next_time(MicroSec* at) {
-  if (in_window_ > 0) {
-    cursor_ = next_live_bucket(cursor_);
-    const Bucket& b = buckets_[cursor_];
-    *at = b.events[b.head].at;
-    return true;
-  }
-  if (!overflow_.empty()) {
-    *at = overflow_.front().at;
-    return true;
-  }
-  return false;
-}
-
-Engine::Event* Engine::BucketQueue::front() {
-  if (in_window_ == 0) migrate_overflow();
-  // migrate_overflow guarantees at least one in-window event, so the scan
-  // always lands on a live bucket.
-  cursor_ = next_live_bucket(cursor_);
-  Bucket& b = buckets_[cursor_];
-  return &b.events[b.head];
-}
-
-void Engine::BucketQueue::drop_front() {
-  Bucket& b = buckets_[cursor_];
-  DCHECK(b.head < b.events.size(), "drop_front() without a front event");
-  ++b.head;
-  --in_window_;
-  if (b.head == b.events.size()) {
-    b.events.clear();  // keeps capacity for the next window lap
-    b.head = 0;
-    occupied_[cursor_ >> 6] &= ~(std::uint64_t{1} << (cursor_ & 63));
-  }
-}
-
-// ---- Engine ----------------------------------------------------------------
-
-Engine::Engine(QueueKind queue) : kind_(queue) {}
+Engine::~Engine() = default;
 
 std::size_t Engine::pending_events() const noexcept {
-  return kind_ == QueueKind::kBucketed ? bucketed_.size() : heap_.size();
+  // The sharded backend spreads pending events over shard queues, staging
+  // buffers, runs, and the dispatch heap; scheduled-minus-dispatched counts
+  // them all (and matches queue_.size() exactly in the serial engine).
+  if (sharded_ != nullptr) {
+    return static_cast<std::size_t>(next_seq_ - dispatched_);
+  }
+  return queue_.size();
 }
 
-void Engine::schedule_at(MicroSec at, Callback fn) {
-  // A stale event would silently dispatch at the wrong time: both queues
+int Engine::shard_count() const noexcept {
+  return sharded_ != nullptr ? sharded_->shard_count() : 1;
+}
+
+ShardStats Engine::shard_stats() const {
+  return sharded_ != nullptr ? sharded_->stats() : ShardStats{};
+}
+
+void Engine::schedule_at_lp(int lp, MicroSec at, Callback fn) {
+  // A stale event would silently dispatch at the wrong time: the queues
   // order by `at`, so a past timestamp jumps everything pending.
   CHECK(at >= now_, "schedule_at(", at, ") is in the past: now()=", now_);
   Event ev{at, next_seq_++, std::move(fn)};
-  if (kind_ == QueueKind::kBucketed) {
-    bucketed_.push(std::move(ev));
+  if (sharded_ != nullptr) {
+    sharded_->schedule(lp, std::move(ev));
   } else {
-    heap_.push(std::move(ev));
+    queue_.push(std::move(ev));
   }
 }
 
-void Engine::schedule_in(MicroSec delay, Callback fn) {
+void Engine::schedule_in_lp(int lp, MicroSec delay, Callback fn) {
   CHECK(delay >= 0, "schedule_in(", delay, ") with a negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_at_lp(lp, now_ + delay, std::move(fn));
 }
 
 bool Engine::step() {
-  if (kind_ == QueueKind::kBucketed) {
-    if (bucketed_.empty()) return false;
-    Event* ev = bucketed_.front();
-    // Monotone dispatch: simulated time never moves backwards.
-    CHECK(ev->at >= now_, "event at t=", ev->at,
-          " dispatched after now()=", now_);
-    now_ = ev->at;
-    ++dispatched_;
-    // Move only the callback out of the slot — the callback may schedule
-    // new events, which can reallocate the bucket the slot lives in.
-    Callback fn = std::move(ev->fn);
-    bucketed_.drop_front();
-    fn();
-    return true;
+  Event* ev = nullptr;
+  if (sharded_ != nullptr) {
+    ev = sharded_->front();
+  } else if (!queue_.empty()) {
+    ev = queue_.front();
   }
-  if (heap_.empty()) return false;
-  // priority_queue::top is const; the callback must be moved out before
-  // pop.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  CHECK(ev.at >= now_, "event at t=", ev.at, " dispatched after now()=", now_);
-  now_ = ev.at;
+  if (ev == nullptr) return false;
+  // Monotone dispatch: simulated time never moves backwards.
+  CHECK(ev->at >= now_, "event at t=", ev->at,
+        " dispatched after now()=", now_);
+  now_ = ev->at;
   ++dispatched_;
-  ev.fn();
+  // Move only the callback out of the slot — the callback may schedule
+  // new events, which can reallocate the container the slot lives in.
+  Callback fn = std::move(ev->fn);
+  if (sharded_ != nullptr) {
+    sharded_->drop_front();
+  } else {
+    queue_.drop_front();
+  }
+  fn();
   return true;
 }
 
@@ -179,11 +90,11 @@ void Engine::run() {
 }
 
 void Engine::run_until(MicroSec deadline) {
-  if (kind_ == QueueKind::kBucketed) {
-    MicroSec at;
-    while (bucketed_.next_time(&at) && at <= deadline) step();
+  MicroSec at = 0;
+  if (sharded_ != nullptr) {
+    while (sharded_->next_time(&at) && at <= deadline) step();
   } else {
-    while (!heap_.empty() && heap_.top().at <= deadline) step();
+    while (queue_.next_time(&at) && at <= deadline) step();
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -6,43 +6,58 @@
 //   * ties are broken by schedule order (a monotone sequence number), so a
 //    (seed, config) pair always produces the identical event interleaving.
 //
-// Two interchangeable event queues implement that contract:
-//   * kBucketed (default): a two-level calendar queue — near-future events
-//     hash into fixed-width time buckets (each bucket a small sorted run),
-//     far-future events wait in a sorted overflow band and migrate into the
-//     bucket window when it advances.  O(1) amortized per event instead of
-//     the binary heap's O(log n) on large pending sets.
-//   * kReferenceHeap: the original std::priority_queue, kept for
-//     differential testing (tests/sim/engine_differential_test.cpp) and
-//     selectable as the build default with -DCHARISMA_REFERENCE_QUEUE=ON.
-// Both dispatch in exactly the same (at, seq) order; the digest-identity
-// tests enforce it.
+// The pending-event set lives in one of two interchangeable queues
+// (sim/event_queue.hpp): the default two-level calendar queue or the
+// reference binary heap kept for differential testing.  Both dispatch in
+// exactly the same (at, seq) order; the digest-identity tests enforce it.
+//
+// With EngineOptions::threads > 1 the engine runs sharded: callers tag each
+// schedule with a logical-process id (the simulated machine node, via
+// schedule_at_lp / schedule_in_lp) and the pending set splits into one
+// queue per shard of LPs, synchronized by a conservative lookahead window
+// (sim/sharded.hpp).  Dispatch order — and therefore the trace digest — is
+// bit-identical to the serial engine for every shard count.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <vector>
+#include <memory>
 
+#include "sim/event_queue.hpp"
 #include "sim/inline_callback.hpp"
 #include "util/units.hpp"
 
 namespace charisma::sim {
 
-using util::MicroSec;
+class ShardCoordinator;
+struct ShardStats;
 
-enum class QueueKind : std::uint8_t { kBucketed, kReferenceHeap };
-
-#if defined(CHARISMA_REFERENCE_QUEUE)
-inline constexpr QueueKind kDefaultQueueKind = QueueKind::kReferenceHeap;
-#else
-inline constexpr QueueKind kDefaultQueueKind = QueueKind::kBucketed;
-#endif
+struct EngineOptions {
+  QueueKind queue = kDefaultQueueKind;
+  /// Total threads the engine may use, coordinator included; 1 is the
+  /// serial engine (byte-identical to the pre-sharding implementation),
+  /// N > 1 shards the LPs into N groups with N-1 queue-surgery workers.
+  int threads = 1;
+  /// Number of logical processes callers will tag events with; ignored by
+  /// the serial engine.
+  int lp_count = 1;
+  /// Conservative window half-width (the minimum cross-LP message latency,
+  /// in simulated microseconds); ignored by the serial engine.
+  MicroSec lookahead = 1;
+  /// Runs the sharded coordinator even at threads == 1 (no workers, every
+  /// task inline) — for differential tests of the window protocol itself.
+  bool force_sharded = false;
+};
 
 class Engine {
  public:
   using Callback = InlineCallback;
 
   explicit Engine(QueueKind queue = kDefaultQueueKind);
+  explicit Engine(const EngineOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time.
   [[nodiscard]] MicroSec now() const noexcept { return now_; }
@@ -51,11 +66,26 @@ class Engine {
     return dispatched_;
   }
   [[nodiscard]] QueueKind queue_kind() const noexcept { return kind_; }
+  /// Whether the sharded coordinator backs this engine.
+  [[nodiscard]] bool sharded() const noexcept { return sharded_ != nullptr; }
+  [[nodiscard]] int shard_count() const noexcept;
+  /// Sharded-backend counters; nullopt-like (all zero) when serial.  Call
+  /// only between runs.
+  [[nodiscard]] ShardStats shard_stats() const;
 
-  /// Schedules `fn` at absolute time `at` (>= now).
-  void schedule_at(MicroSec at, Callback fn);
-  /// Schedules `fn` after `delay` (>= 0) from now.
-  void schedule_in(MicroSec delay, Callback fn);
+  /// Schedules `fn` at absolute time `at` (>= now) on LP 0.
+  void schedule_at(MicroSec at, Callback fn) {
+    schedule_at_lp(0, at, std::move(fn));
+  }
+  /// Schedules `fn` after `delay` (>= 0) from now on LP 0.
+  void schedule_in(MicroSec delay, Callback fn) {
+    schedule_in_lp(0, delay, std::move(fn));
+  }
+  /// Schedules `fn` at absolute time `at` (>= now) on logical process `lp`
+  /// (a simulated machine node; must be < EngineOptions::lp_count when
+  /// sharded).  The serial engine ignores the tag.
+  void schedule_at_lp(int lp, MicroSec at, Callback fn);
+  void schedule_in_lp(int lp, MicroSec delay, Callback fn);
 
   /// Runs events until the queue is empty.
   void run();
@@ -66,85 +96,9 @@ class Engine {
   bool step();
 
  private:
-  struct Event {
-    MicroSec at = 0;
-    std::uint64_t seq = 0;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
-
-  /// The two-level calendar queue.  Level 1: kBucketCount buckets of
-  /// kBucketWidth microseconds each, covering [window_start_, window_start_
-  /// + kSpan); each bucket keeps its pending events sorted by (at, seq)
-  /// from `head` onward.  Level 2: a binary-heap overflow band for events
-  /// at or beyond the window, migrated bucket-ward when the window empties.
-  class BucketQueue {
-   public:
-    static constexpr int kBucketShift = 7;  // 128 us per bucket
-    static constexpr MicroSec kBucketWidth = MicroSec{1} << kBucketShift;
-    // Span = 2.1 s of simulated time.  The window must comfortably cover
-    // the workload's compute think times (hundreds of ms to ~1 s): every
-    // event scheduled past the window takes a round trip through the
-    // overflow binary heap, which costs more than the whole bucketed path.
-    // 16384 bucket headers are 512 KiB — noise next to a study's trace.
-    static constexpr std::size_t kBucketCount = 16384;
-    static constexpr MicroSec kSpan =
-        kBucketWidth * static_cast<MicroSec>(kBucketCount);
-
-    BucketQueue()
-        : buckets_(kBucketCount), occupied_(kBucketCount / 64, 0) {}
-
-    void push(Event&& ev);
-    /// Earliest pending time; false when empty.  May advance the bucket
-    /// cursor but never reorders or migrates events.
-    [[nodiscard]] bool next_time(MicroSec* at);
-    /// The (at, seq)-least event, left in place; queue must be non-empty.
-    /// The pointer is invalidated by any push — callers move the callback
-    /// out and call drop_front() before dispatching it.
-    [[nodiscard]] Event* front();
-    /// Removes the event front() returned; queue must be non-empty.
-    void drop_front();
-    [[nodiscard]] std::size_t size() const noexcept {
-      return in_window_ + overflow_.size();
-    }
-    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
-
-   private:
-    struct Bucket {
-      std::vector<Event> events;  // sorted by (at, seq) from `head` on
-      std::size_t head = 0;
-    };
-
-    void insert_in_window(Event&& ev);
-    /// Rebases the window onto the earliest overflow event and moves every
-    /// overflow event inside the new window into its bucket.
-    void migrate_overflow();
-
-    /// Index of the first live bucket at or after `from`; in_window_ must
-    /// be non-zero.  One countr_zero step per 64 buckets, so sparse windows
-    /// (an event, then hundreds of empty buckets of think time) cost a few
-    /// word loads instead of a per-bucket walk.
-    [[nodiscard]] std::size_t next_live_bucket(std::size_t from) const;
-
-    std::vector<Bucket> buckets_;
-    /// Bit b set iff buckets_[b] has pending events (head < events.size()).
-    std::vector<std::uint64_t> occupied_;
-    std::vector<Event> overflow_;  // min-heap under Later
-    MicroSec window_start_ = 0;    // multiple of kBucketWidth
-    std::size_t cursor_ = 0;       // no non-empty bucket before this index
-    std::size_t in_window_ = 0;
-  };
-
-  using ReferenceQueue =
-      std::priority_queue<Event, std::vector<Event>, Later>;
-
   QueueKind kind_;
-  BucketQueue bucketed_;
-  ReferenceQueue heap_;
+  EventQueue queue_;  // serial backend (unused when sharded_ is set)
+  std::unique_ptr<ShardCoordinator> sharded_;
   MicroSec now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

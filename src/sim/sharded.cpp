@@ -1,0 +1,279 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace charisma::sim {
+
+namespace {
+
+/// Busy-wait hint for the claim/straggler spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Spin iterations a worker burns between batches before parking.  Window
+/// boundaries arrive every few microseconds of wall clock during a busy
+/// study, so a short spin keeps workers hot through bursts while an idle
+/// run (or a 1-core host) parks them quickly and permanently.
+constexpr int kSpinRounds = 1 << 14;
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(const ShardedOptions& options)
+    : shard_count_(std::max(1, options.shards)),
+      lp_count_(std::max(1, options.lp_count)),
+      lookahead_(std::max<MicroSec>(1, options.lookahead)),
+      horizon_(std::numeric_limits<MicroSec>::min()),
+      producer_row_(shard_count_) {
+  const auto rows = static_cast<std::size_t>(shard_count_) + 1;
+  shards_.reserve(static_cast<std::size_t>(shard_count_));
+  for (int s = 0; s < shard_count_; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options.queue, rows));
+  }
+  int workers = options.worker_threads >= 0 ? options.worker_threads
+                                            : shard_count_ - 1;
+  workers = std::max(0, workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  stop_.store(true, std::memory_order_release);
+  wake_workers();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardCoordinator::schedule(int lp, Event&& ev) {
+  DCHECK(lp >= 0 && lp < lp_count_, "LP ", lp, " outside [0, ", lp_count_,
+         ")");
+  if (ev.at < horizon_) {
+    // Same-window schedule (includes zero-latency self-sends): straight
+    // into the dispatch heap, where the (at, seq) merge keeps it ordered
+    // against the harvested runs.
+    heap_.push_back(HeapEntry{std::move(ev), lp});
+    std::push_heap(heap_.begin(), heap_.end(), HeapEntryAfter{});
+    ++stats_.direct;
+  } else {
+    // At or beyond the horizon (the conservative guarantee: any cross-LP
+    // effect is at least one message latency away): stage until the next
+    // window boundary.
+    Shard& sh = *shards_[shard_of_lp(lp)];
+    sh.inbox[static_cast<std::size_t>(producer_row_)].push_back(
+        std::move(ev));
+    ++sh.staged;
+    ++stats_.staged;
+  }
+}
+
+Event* ShardCoordinator::find_front() {
+  Event* best = nullptr;
+  front_shard_ = -1;
+  if (!heap_.empty()) best = &heap_.front().ev;
+  for (int s = 0; s < shard_count_; ++s) {
+    Shard& sh = *shards_[s];
+    if (sh.run_head >= sh.run.size()) continue;
+    Event& cand = sh.run[sh.run_head];
+    if (best == nullptr || EventAfter{}(*best, cand)) {
+      best = &cand;
+      front_shard_ = s;
+    }
+  }
+  return best;
+}
+
+Event* ShardCoordinator::front() {
+  for (;;) {
+    Event* ev = find_front();
+    if (ev != nullptr) return ev;
+    if (!advance_window()) return nullptr;
+  }
+}
+
+bool ShardCoordinator::next_time(MicroSec* at) {
+  Event* ev = front();
+  if (ev == nullptr) return false;
+  *at = ev->at;
+  return true;
+}
+
+void ShardCoordinator::drop_front() {
+  if (front_shard_ < 0) {
+    DCHECK(!heap_.empty(), "drop_front() without a front event");
+    producer_row_ = shard_of_lp(heap_.front().lp);
+    std::pop_heap(heap_.begin(), heap_.end(), HeapEntryAfter{});
+    heap_.pop_back();
+  } else {
+    producer_row_ = front_shard_;
+    ++shards_[static_cast<std::size_t>(front_shard_)]->run_head;
+  }
+}
+
+bool ShardCoordinator::advance_window() {
+  // 1) Flush the SPSC staging rows of every shard that received sends.
+  batch_targets_.clear();
+  for (int s = 0; s < shard_count_; ++s) {
+    Shard& sh = *shards_[s];
+    if (sh.staged > 0) {
+      sh.staged = 0;
+      batch_targets_.push_back(s);
+    }
+  }
+  if (!batch_targets_.empty()) run_batch(Task::kDrain, batch_targets_);
+
+  // 2) Conservative bound: the earliest pending event anywhere, plus the
+  // minimum cross-LP latency the caller derived from the network model.
+  bool any = false;
+  MicroSec global_next = 0;
+  for (int s = 0; s < shard_count_; ++s) {
+    const Shard& sh = *shards_[s];
+    if (sh.has_next && (!any || sh.next < global_next)) {
+      global_next = sh.next;
+      any = true;
+    }
+  }
+  if (!any) {
+    producer_row_ = shard_count_;  // external row until the next run
+    return false;
+  }
+  horizon_ = global_next + lookahead_;
+
+  // 3) Harvest every shard with events below the horizon into its sorted
+  // run; at least the global_next shard always qualifies.
+  batch_targets_.clear();
+  for (int s = 0; s < shard_count_; ++s) {
+    const Shard& sh = *shards_[s];
+    if (sh.has_next && sh.next < horizon_) batch_targets_.push_back(s);
+  }
+  run_batch(Task::kHarvest, batch_targets_);
+  for (const int s : batch_targets_) {
+    stats_.harvested += shards_[static_cast<std::size_t>(s)]->run.size();
+  }
+  ++stats_.windows;
+  return true;
+}
+
+void ShardCoordinator::run_batch(Task kind, const std::vector<int>& targets) {
+  // Single-target batches (the common case: the average event gap dwarfs
+  // the lookahead, so most windows hold one busy shard) skip the atomics
+  // entirely; so does a coordinator with no workers (1-core host).
+  if (workers_.empty() || targets.size() < 2) {
+    for (const int s : targets) {
+      run_task(*shards_[static_cast<std::size_t>(s)], kind);
+    }
+    stats_.inline_tasks += targets.size();
+    return;
+  }
+  outstanding_.store(targets.size(), std::memory_order_relaxed);
+  for (const int s : targets) {
+    // Release: the claimer's acquire CAS then sees the staged inbox rows
+    // (drain) or the freshly written horizon_ (harvest).
+    shards_[static_cast<std::size_t>(s)]->task.store(
+        kind, std::memory_order_release);
+  }
+  if (parked_.load(std::memory_order_relaxed) > 0) wake_workers();
+  // Claim from the back so the coordinator meets front-scanning workers in
+  // the middle instead of racing them shard by shard.
+  for (auto it = targets.rbegin(); it != targets.rend(); ++it) {
+    try_claim(*it, /*by_worker=*/false);
+  }
+  // Spin out stragglers: a claimed task is bounded queue surgery, so the
+  // coordinator never syscalls at a window boundary.
+  while (outstanding_.load(std::memory_order_acquire) != 0) cpu_relax();
+}
+
+bool ShardCoordinator::try_claim(int shard, bool by_worker) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  Task expected = sh.task.load(std::memory_order_relaxed);
+  if (expected != Task::kDrain && expected != Task::kHarvest) return false;
+  if (!sh.task.compare_exchange_strong(expected, Task::kClaimed,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    return false;
+  }
+  run_task(sh, expected);
+  if (by_worker) {
+    ++sh.tasks_by_worker;
+  } else {
+    ++stats_.inline_tasks;
+  }
+  sh.task.store(Task::kNone, std::memory_order_relaxed);
+  // Release pairs with the coordinator's straggler-spin acquire, making the
+  // task's queue/run/next writes visible before the batch completes.
+  outstanding_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+void ShardCoordinator::run_task(Shard& sh, Task kind) {
+  if (kind == Task::kDrain) {
+    for (auto& row : sh.inbox) {
+      for (Event& ev : row) sh.queue.push(std::move(ev));
+      row.clear();  // keeps capacity for the next window
+    }
+  } else {
+    sh.run.clear();
+    sh.run_head = 0;
+    sh.queue.drain_before(horizon_, sh.run);
+  }
+  sh.next = 0;
+  sh.has_next = sh.queue.next_time(&sh.next);
+}
+
+void ShardCoordinator::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  int idle = 0;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    bool claimed = false;
+    if (outstanding_.load(std::memory_order_acquire) != 0) {
+      for (int s = 0; s < shard_count_; ++s) {
+        if (try_claim(s, /*by_worker=*/true)) claimed = true;
+      }
+    }
+    if (claimed) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < kSpinRounds) {
+      cpu_relax();
+      if ((idle & 1023) == 0) std::this_thread::yield();
+      continue;
+    }
+    idle = 0;
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const util::MutexLock lock(park_mutex_);
+      while (!stop_.load(std::memory_order_acquire) &&
+             wake_epoch_ == seen_epoch &&
+             outstanding_.load(std::memory_order_acquire) == 0) {
+        park_cv_.wait(park_mutex_);
+      }
+      seen_epoch = wake_epoch_;
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardCoordinator::wake_workers() {
+  {
+    const util::MutexLock lock(park_mutex_);
+    ++wake_epoch_;
+  }
+  park_cv_.notify_all();
+}
+
+ShardStats ShardCoordinator::stats() const {
+  ShardStats out = stats_;
+  for (const auto& sh : shards_) out.worker_tasks += sh->tasks_by_worker;
+  return out;
+}
+
+}  // namespace charisma::sim

@@ -1,0 +1,200 @@
+// Sharded engine backend: one calendar queue per group of logical processes
+// (LPs — simulated machine nodes), synchronized by a conservative window
+// protocol in the CODES tradition.
+//
+// The machine model's callbacks mutate shared state (the CFS metadata, the
+// per-I/O-node disk arms, the trace collector) synchronously and the disks
+// serve requests in call order, so the trace digest pins one global dispatch
+// order: the serial engine's (at, seq) tie-break.  The coordinator therefore
+// keeps *dispatch* on one thread — preserving that order bit-for-bit — and
+// parallelizes everything around it: each shard's queue maintenance (bucket
+// inserts, overflow migration, sorted-run harvesting) runs on worker threads
+// between dispatch bursts.
+//
+// Window protocol, per conservative window:
+//   1. drain   — each shard with staged cross-shard events flushes its SPSC
+//                inboxes into its own calendar queue (parallel, per shard);
+//   2. bound   — global_next = min over shard queues' earliest event; the
+//                horizon is global_next + lookahead, where the lookahead is
+//                the minimum cross-LP message latency (net::MessageModel
+//                software overhead + first-fragment + per-byte floor — every
+//                cross-node interaction in the machine model goes through a
+//                message, so no event below the horizon can spawn another
+//                event below it on a different LP);
+//   3. harvest — each shard with events below the horizon drains them, in
+//                (at, seq) order, into a sorted run (parallel, per shard);
+//   4. dispatch— the coordinator merges the per-shard runs plus a local
+//                binary heap of same-window schedules, invoking callbacks in
+//                exactly the serial engine's global (at, seq) order.
+// Events scheduled during dispatch route by timestamp: below the horizon
+// they enter the dispatch heap (zero-latency self-sends stay safe because
+// dispatch is centralized); at or beyond it they stage in a per-(producer
+// shard, target shard) SPSC buffer until the next window boundary.
+//
+// Workers never run user callbacks — only queue surgery — so there is no
+// exception marshalling and no callback-visible concurrency.  Task handoff
+// is a lock-free claim protocol: the coordinator publishes per-shard tasks,
+// claims unclaimed ones itself (so a 1-core host degrades to the pure
+// inline path with no syscalls), and spins out stragglers.  Workers spin
+// briefly between batches, then park on a condition variable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace charisma::sim {
+
+struct ShardedOptions {
+  QueueKind queue = kDefaultQueueKind;
+  /// Number of LP-group shards (each with a private event queue).
+  int shards = 2;
+  /// Number of logical processes; LPs map to shards round-robin so the
+  /// simulated machine's low node ids (which first-fit allocation keeps
+  /// busiest) spread across shards.
+  int lp_count = 1;
+  /// Conservative window half-width in simulated microseconds; clamped to
+  /// >= 1 so the horizon always lies strictly above the earliest event.
+  MicroSec lookahead = 1;
+  /// Queue-surgery worker threads; -1 picks shards - 1 (the coordinator
+  /// itself is the remaining thread).  0 runs every task inline.
+  int worker_threads = -1;
+};
+
+/// Coordinator-side counters, stable once the run is quiescent.
+struct ShardStats {
+  std::uint64_t windows = 0;    ///< conservative windows advanced
+  std::uint64_t direct = 0;     ///< below-horizon schedules via dispatch heap
+  std::uint64_t staged = 0;     ///< cross-window schedules via SPSC staging
+  std::uint64_t harvested = 0;  ///< events harvested out of shard queues
+  std::uint64_t worker_tasks = 0;  ///< drain/harvest tasks run by workers
+  std::uint64_t inline_tasks = 0;  ///< tasks the coordinator ran itself
+};
+
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(const ShardedOptions& options);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Routes one event; must be called from the dispatching thread only.
+  /// The engine assigns `ev.seq` in schedule order before routing, so the
+  /// merge order here reproduces the serial engine's exactly.
+  void schedule(int lp, Event&& ev);
+
+  /// Earliest pending time across every shard, heap, and staging buffer;
+  /// advances window boundaries as needed.  False when fully drained.
+  [[nodiscard]] bool next_time(MicroSec* at);
+  /// The globally (at, seq)-least pending event, left in place; nullptr
+  /// when drained.  Invalidated by schedule() — move the callback out and
+  /// call drop_front() before invoking it.
+  [[nodiscard]] Event* front();
+  /// Consumes the event front() returned and attributes subsequent staged
+  /// sends to its shard's SPSC row.
+  void drop_front();
+
+  [[nodiscard]] int shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] int worker_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] MicroSec lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] int shard_of_lp(int lp) const noexcept {
+    return lp % shard_count_;
+  }
+  /// Counters; call only while dispatch is quiescent (no batch in flight).
+  [[nodiscard]] ShardStats stats() const;
+
+ private:
+  enum class Task : std::uint8_t { kNone, kDrain, kHarvest, kClaimed };
+
+  /// Fields split by writer: `queue`, `run`, `next` are written by whichever
+  /// thread claims the shard's task (handoff via the claim/outstanding
+  /// barrier); `inbox` rows are written by the coordinator during dispatch
+  /// and consumed by the drain task; `staged` is coordinator-only.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    /// Harvested sorted run for the current window; [run_head, size()) are
+    /// not yet dispatched.
+    std::vector<Event> run;
+    std::size_t run_head = 0;
+    /// inbox[p]: events staged by producer row p (one row per shard plus
+    /// one for schedules from outside dispatch).  Single producer (the
+    /// coordinator, during dispatch), single consumer (the drain task).
+    std::vector<std::vector<Event>> inbox;
+    std::size_t staged = 0;  ///< total events across inbox rows
+    MicroSec next = 0;       ///< queue's earliest event after the last task
+    bool has_next = false;
+    std::atomic<Task> task{Task::kNone};
+    std::uint64_t tasks_by_worker = 0;
+
+    explicit Shard(QueueKind kind, std::size_t producer_rows)
+        : queue(kind), inbox(producer_rows) {}
+  };
+
+  /// Entry in the same-window dispatch heap; carries the target LP so
+  /// drop_front can attribute follow-on staged sends to the right row.
+  struct HeapEntry {
+    Event ev;
+    std::int32_t lp = 0;
+  };
+  struct HeapEntryAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      return EventAfter{}(a.ev, b.ev);
+    }
+  };
+
+  /// Locates the (at, seq)-least event among shard runs and the dispatch
+  /// heap; returns nullptr (and leaves front_shard_ untouched) when the
+  /// current window is exhausted.
+  Event* find_front();
+  /// Flushes staging, computes the next horizon, harvests; false when no
+  /// events remain anywhere.  Precondition: find_front() == nullptr.
+  bool advance_window();
+  /// Publishes `kind` for every shard index in `targets` and returns once
+  /// all have run (workers + coordinator inline claims).
+  void run_batch(Task kind, const std::vector<int>& targets);
+  /// Claims and runs one shard's published task; false if already taken.
+  bool try_claim(int shard, bool by_worker);
+  void run_task(Shard& sh, Task kind);
+  void worker_loop();
+  void wake_workers();
+
+  int shard_count_;
+  int lp_count_;
+  MicroSec lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<HeapEntry> heap_;  // min-heap under HeapEntryAfter
+
+  /// Horizon of the current window; events below it dispatch this window.
+  /// Starts at MicroSec min so every pre-run schedule stages.
+  MicroSec horizon_;
+  /// SPSC row schedules are attributed to: the shard of the most recently
+  /// dispatched event, or the external row (== shard_count_) outside
+  /// dispatch.
+  int producer_row_;
+  /// Where the current front() lives: a shard index, or -1 for the heap.
+  int front_shard_ = -1;
+  std::vector<int> batch_targets_;  // scratch, reused every window
+
+  ShardStats stats_;
+
+  // ---- task fan-out ----
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> parked_{0};
+  util::Mutex park_mutex_;
+  std::condition_variable_any park_cv_;
+  std::uint64_t wake_epoch_ CHARISMA_GUARDED_BY(park_mutex_) = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace charisma::sim

@@ -176,22 +176,28 @@ TEST(SweepRunner, PlansDescribeTheGroupedPasses) {
   EXPECT_EQ(compute_plan.groups[0].kind, SweepGroup::Kind::kStack);
 
   // io_points(): 3 buffer counts x {LRU, FIFO} + a §4.8 front point + an
-  // IP-aware point -> one LRU stack pass, one FIFO batched pass, and two
-  // single-point replays.
+  // IP-aware point -> one LRU stack pass, one FIFO batched pass, and the
+  // two single-point leftovers fused into one multi pass.
   const SweepPlan io_plan = plan_io_sweep(io_points());
   EXPECT_EQ(io_plan.configs(), 8u);
-  EXPECT_EQ(io_plan.passes(), 4u);
-  std::size_t stack = 0, batched = 0, replay = 0;
+  EXPECT_EQ(io_plan.passes(), 3u);
+  std::size_t stack = 0, batched = 0, replay = 0, multi = 0;
   for (const SweepGroup& g : io_plan.groups) {
     switch (g.kind) {
       case SweepGroup::Kind::kStack: ++stack; break;
       case SweepGroup::Kind::kBatched: ++batched; break;
       case SweepGroup::Kind::kReplay: ++replay; break;
+      case SweepGroup::Kind::kMulti:
+        ++multi;
+        EXPECT_EQ(g.configs, 2u);
+        EXPECT_EQ(g.simulated, 2u);
+        break;
     }
   }
   EXPECT_EQ(stack, 1u);
   EXPECT_EQ(batched, 1u);
-  EXPECT_EQ(replay, 2u);
+  EXPECT_EQ(replay, 0u);  // singletons fold away whenever there are >= 2
+  EXPECT_EQ(multi, 1u);
   EXPECT_FALSE(io_plan.describe().empty());
 }
 

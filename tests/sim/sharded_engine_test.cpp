@@ -1,0 +1,253 @@
+// Differential tests for the sharded (conservative-window) engine backend.
+//
+// The contract under test: for every shard count, the sharded engine
+// dispatches in exactly the serial engine's (at, seq) order — not just "a
+// valid conservative order" — so a full study yields the identical trace
+// digest.  The window protocol's edges get targeted coverage: zero-latency
+// self-sends and cross-LP sends during dispatch, events landing exactly on
+// the horizon, and run_until deadlines that peek across window boundaries.
+//
+// The suite name carries "Sharded" so CI's TSan job picks it up: worker
+// threads do real queue surgery here whenever a window fans out.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/study.hpp"
+#include "sim/engine.hpp"
+#include "sim/sharded.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace charisma::sim {
+namespace {
+
+constexpr int kLpCount = 16;
+constexpr MicroSec kLookahead = 77;  // the NAS model's min message latency
+
+/// (dispatch time, event id, LP) — the id doubles as the schedule order, so
+/// comparing logs compares the full (at, seq) dispatch order.
+using DispatchLog = std::vector<std::tuple<MicroSec, int, int>>;
+
+Engine make_engine(QueueKind queue, int threads, bool force_sharded) {
+  EngineOptions options;
+  options.queue = queue;
+  options.threads = threads;
+  options.lp_count = kLpCount;
+  options.lookahead = kLookahead;
+  options.force_sharded = force_sharded;
+  return Engine(options);
+}
+
+// Replays a deterministic pseudo-random LP-tagged schedule.  The RNG is
+// consumed during dispatch, so the draws (and therefore the whole schedule)
+// line up between two engines only when their dispatch orders are identical
+// — a divergence amplifies instead of hiding.  Delays deliberately straddle
+// every window-protocol regime: zero-latency, below-lookahead, mid-window,
+// and beyond the calendar span (overflow band + migration).
+class LpRandomSchedule {
+ public:
+  LpRandomSchedule(Engine& engine, std::uint64_t seed, int budget)
+      : engine_(&engine), rng_(seed), budget_(budget) {}
+
+  DispatchLog run() {
+    for (int burst = 0; burst < 8; ++burst) {
+      const auto at = static_cast<MicroSec>(rng_.uniform(2000));
+      for (int j = 0; j < 5; ++j) spawn(next_lp(), at);
+    }
+    for (int i = 0; i < 64; ++i) {
+      spawn(next_lp(), static_cast<MicroSec>(rng_.uniform(2'000'000)));
+    }
+    engine_->run();
+    return std::move(log_);
+  }
+
+ private:
+  int next_lp() { return static_cast<int>(rng_.uniform(kLpCount)); }
+
+  void spawn(int lp, MicroSec at) {
+    const int id = next_id_++;
+    engine_->schedule_at_lp(lp, at, [this, id, lp] { fire(id, lp); });
+  }
+
+  void fire(int id, int lp) {
+    log_.emplace_back(engine_->now(), id, lp);
+    if (next_id_ >= budget_) return;
+    const std::uint64_t children = rng_.uniform(3);
+    for (std::uint64_t c = 0; c < children; ++c) {
+      MicroSec delay;
+      const std::uint64_t kind = rng_.uniform(12);
+      if (kind < 2) {
+        delay = 0;  // zero-latency (self- or cross-LP) send
+      } else if (kind < 5) {
+        delay = static_cast<MicroSec>(rng_.uniform(kLookahead + 1));
+      } else if (kind < 9) {
+        delay = static_cast<MicroSec>(rng_.uniform(20'000));
+      } else {
+        delay = 300'000 + static_cast<MicroSec>(rng_.uniform(3'000'000));
+      }
+      spawn(next_lp(), engine_->now() + delay);
+    }
+    if (rng_.chance(0.1)) {
+      // Same-timestamp burst scheduled during dispatch (at == now()),
+      // spread over LPs — the heap and the harvested runs must interleave
+      // by seq alone.
+      for (int j = 0; j < 3; ++j) spawn(next_lp(), engine_->now());
+    }
+  }
+
+  Engine* engine_;
+  util::Rng rng_;
+  DispatchLog log_;
+  int next_id_ = 0;
+  int budget_;
+};
+
+TEST(ShardedEngine, RandomSchedulesMatchSerialForEveryShardCount) {
+  for (const QueueKind queue :
+       {QueueKind::kBucketed, QueueKind::kReferenceHeap}) {
+    for (const std::uint64_t seed : {1ULL, 42ULL, 987'654'321ULL}) {
+      Engine serial = make_engine(queue, 1, /*force_sharded=*/false);
+      ASSERT_FALSE(serial.sharded());
+      const DispatchLog expected =
+          LpRandomSchedule(serial, seed, 4000).run();
+      ASSERT_GT(expected.size(), 100u) << "schedule too small to mean much";
+
+      for (const int threads : {1, 2, 4, 8}) {
+        Engine sharded = make_engine(queue, threads, /*force_sharded=*/true);
+        ASSERT_TRUE(sharded.sharded());
+        ASSERT_EQ(sharded.shard_count(), threads);
+        const DispatchLog got =
+            LpRandomSchedule(sharded, seed, 4000).run();
+        ASSERT_EQ(got, expected) << "dispatch diverged at " << threads
+                                 << " shards, seed " << seed;
+        EXPECT_EQ(sharded.now(), serial.now());
+        EXPECT_EQ(sharded.dispatched_events(), serial.dispatched_events());
+        EXPECT_EQ(sharded.pending_events(), 0u);
+        const ShardStats stats = sharded.shard_stats();
+        EXPECT_GT(stats.windows, 0u);
+        EXPECT_GT(stats.direct, 0u) << "no same-window schedules exercised";
+        EXPECT_GT(stats.staged, 0u) << "no cross-window schedules exercised";
+      }
+    }
+  }
+}
+
+// Events scheduled during dispatch exactly at the horizon must stage (wait
+// for the next window); one microsecond below it must dispatch in the same
+// window.  Both paths must land in serial (at, seq) order either way.
+TEST(ShardedEngine, EventsExactlyAtTheHorizonStageForTheNextWindow) {
+  Engine e = make_engine(kDefaultQueueKind, 2, /*force_sharded=*/true);
+  std::vector<int> order;
+  // The first window's horizon is 100 + kLookahead.
+  e.schedule_at_lp(0, 100, [&] {
+    const MicroSec horizon = 100 + kLookahead;
+    e.schedule_at_lp(1, horizon, [&] { order.push_back(2); });      // staged
+    e.schedule_at_lp(1, horizon - 1, [&] { order.push_back(1); });  // direct
+    order.push_back(0);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  const ShardStats stats = e.shard_stats();
+  EXPECT_EQ(stats.staged, 2u);  // the pre-run seed + the at-horizon send
+  EXPECT_GE(stats.direct, 1u);
+  EXPECT_EQ(e.dispatched_events(), 3u);
+}
+
+TEST(ShardedEngine, ZeroLatencySelfAndCrossSendsDispatchInSeqOrder) {
+  Engine e = make_engine(kDefaultQueueKind, 4, /*force_sharded=*/true);
+  std::vector<int> order;
+  e.schedule_at_lp(3, 50, [&] {
+    order.push_back(0);
+    e.schedule_in_lp(3, 0, [&] { order.push_back(1); });   // self, same time
+    e.schedule_in_lp(7, 0, [&] { order.push_back(2); });   // cross, same time
+    e.schedule_in_lp(11, 0, [&] {
+      order.push_back(3);
+      e.schedule_in_lp(3, 0, [&] { order.push_back(4); });  // nested
+    });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(e.now(), 50);
+}
+
+// run_until must honor window boundaries: peeking the next event time may
+// advance windows but must not dispatch past the deadline, and idle time
+// advances now() just like the serial engine.
+TEST(ShardedEngine, RunUntilBoundariesMatchSerial) {
+  const auto scenario = [](Engine& e) {
+    DispatchLog log;
+    const auto mark = [&log, &e](int id) { log.emplace_back(e.now(), id, 0); };
+    for (int i = 0; i < 4; ++i) {
+      e.schedule_at_lp(i % kLpCount, 100, [&mark, i] { mark(i); });
+    }
+    e.schedule_at_lp(5, 101, [&mark] { mark(10); });
+    e.schedule_at_lp(6, 500'000, [&mark] { mark(11); });  // overflow band
+    e.run_until(99);  // peeks but dispatches nothing
+    log.emplace_back(e.now(), -1, 0);
+    log.emplace_back(static_cast<MicroSec>(e.pending_events()), -2, 0);
+    e.run_until(100);  // the burst fires; 101 stays queued
+    log.emplace_back(e.now(), -3, 0);
+    e.schedule_at_lp(2, 100, [&mark] { mark(12); });  // == now()
+    e.run_until(101);
+    log.emplace_back(e.now(), -4, 0);
+    e.schedule_at_lp(9, 200'000, [&mark] { mark(13); });
+    e.run();
+    log.emplace_back(e.now(), -5, 0);
+    log.emplace_back(static_cast<MicroSec>(e.pending_events()), -6, 0);
+    e.run_until(600'000);  // idle advance past the last event
+    log.emplace_back(e.now(), -7, 0);
+    return log;
+  };
+  Engine serial = make_engine(kDefaultQueueKind, 1, /*force_sharded=*/false);
+  const DispatchLog expected = scenario(serial);
+  for (const int threads : {1, 2, 8}) {
+    Engine sharded = make_engine(kDefaultQueueKind, threads, true);
+    EXPECT_EQ(scenario(sharded), expected) << threads << " shards";
+  }
+}
+
+TEST(ShardedEngine, SchedulingInThePastThrowsAndKeepsStateIntact) {
+  Engine e = make_engine(kDefaultQueueKind, 2, /*force_sharded=*/true);
+  e.schedule_at_lp(0, 100, [] {});
+  e.run();
+  ASSERT_EQ(e.now(), 100);
+  EXPECT_THROW(e.schedule_at_lp(1, 99, [] {}), util::CheckFailure);
+  EXPECT_EQ(e.pending_events(), 0u);
+  // The engine stays usable: at == now() is allowed, including re-entry
+  // after the failed schedule.
+  bool ran = false;
+  e.schedule_at_lp(1, 100, [&] { ran = true; });
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+// The acceptance bar for the tentpole: a full study's trace digest is
+// bit-identical between the serial engine and the sharded engine at every
+// tested shard count (1 via force_sharded, then 2/4/8).
+TEST(ShardedEngineStudy, DigestsMatchSerialAcrossShardCounts) {
+  core::StudyConfig config;
+  config.workload.scale = 0.05;
+  config.workload.seed = 42;
+  const auto serial = core::run_study(config);
+  ASSERT_GT(serial.raw.record_count(), 0u);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    core::StudyConfig sharded = config;
+    sharded.engine_threads = threads;
+    sharded.force_sharded_engine = true;
+    const auto out = core::run_study(sharded);
+    EXPECT_EQ(out.raw.digest(), serial.raw.digest())
+        << "digest diverged at " << threads << " engine threads";
+    EXPECT_EQ(out.events_dispatched, serial.events_dispatched);
+    EXPECT_EQ(out.records, serial.records);
+    EXPECT_EQ(out.sim_end, serial.sim_end);
+  }
+}
+
+}  // namespace
+}  // namespace charisma::sim

@@ -10,6 +10,10 @@
 //   --scales:  comma-separated workload scales (default 0.2)
 //   --threads: campaign worker threads; 0 = hardware concurrency,
 //              1 = serial (default 0)
+//   --engine-threads: threads per study's event engine (default 1 = serial;
+//              >1 shards each study's LPs with conservative windows — the
+//              digests are identical either way, so the determinism diffs
+//              cover this axis too)
 //   --smoke:   use the tiny smoke workload/machine (CI cross-checks)
 //   --figures: sample per-figure curves and fold envelope bands across the
 //              replications (default 1; 0 skips the analyzer/cache replays
@@ -59,8 +63,8 @@ std::vector<std::string> split_list(const std::string& csv) {
 int usage() {
   std::fprintf(stderr,
                "usage: charisma_campaign [--seeds=42,43] [--scales=0.2] "
-               "[--threads=N] [--queue=bucketed|heap] [--smoke] "
-               "[--figures=0|1] [--progress] [--out=DIR]\n");
+               "[--threads=N] [--engine-threads=N] [--queue=bucketed|heap] "
+               "[--smoke] [--figures=0|1] [--progress] [--out=DIR]\n");
   return 2;
 }
 
@@ -68,8 +72,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"seeds", "scales", "threads", "queue", "smoke",
-                     "figures", "progress", "out"});
+                    {"seeds", "scales", "threads", "engine-threads", "queue",
+                     "smoke", "figures", "progress", "out"});
   if (flags.remaining_argc() > 1) return usage();
 
   std::vector<std::uint64_t> seeds;
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
   } else if (queue != "bucketed") {
     return usage();
   }
+  base.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
+  if (base.engine_threads < 1) return usage();
 
   const auto studies = core::scale_sweep(base, scales, seeds);
   core::CampaignOptions options;

@@ -3,8 +3,10 @@
 # BENCH_study.json at the repository root.  The file holds the measured
 # stage timings for the default (bucketed-queue, grouped-sweep) engine, the
 # same run under the reference heap queue, the same run with the reference
-# per-config sweep mode, and — when a pre-change baseline file is passed —
-# the end-to-end speedup against it, so perf regressions show up as diffs.
+# per-config sweep mode, the same run at 2 and 4 engine threads (the sharded
+# conservative-window engine — digest-identical, so only the timings move),
+# and — when a pre-change baseline file is passed — the end-to-end speedup
+# against it, so perf regressions show up as diffs.
 #
 # Usage: tools/record_bench.sh [scale] [threads] [baseline.json] [reps]
 #   scale          workload scale (default 0.2)
@@ -34,13 +36,15 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_study charisma_campaign > /de
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-run_case() { # label queue sweep-mode -> $TMP/<label>.json (best of $REPS by total)
+run_case() { # label queue sweep-mode [extra perf_study flags...]
+             # -> $TMP/<label>.json (best of $REPS by total)
   local label="$1" queue="$2" sweep="$3"
+  shift 3
   echo "[record_bench] measuring $label ($queue queue, $sweep sweep, scale=$SCALE threads=$THREADS, best of $REPS)..."
   local best=""
   for rep in $(seq 1 "$REPS"); do
     "$BUILD/bench/perf_study" --scale="$SCALE" --threads="$THREADS" \
-        --queue="$queue" --sweep-mode="$sweep" \
+        --queue="$queue" --sweep-mode="$sweep" "$@" \
         --out="$TMP/$label.rep$rep.json" > /dev/null 2> /dev/null
     local total
     total="$(jq '.stages_ms.total' "$TMP/$label.rep$rep.json")"
@@ -57,6 +61,12 @@ run_case() { # label queue sweep-mode -> $TMP/<label>.json (best of $REPS by tot
 run_case bucketed bucketed grouped
 run_case reference reference grouped
 run_case per_config_sweep bucketed per-config
+# Engine-thread scaling: the sharded (conservative-window) engine at 2 and 4
+# shards.  Digest-identical to serial by contract; on a 1-core host the study
+# stage records the protocol's overhead rather than a speedup — judge the
+# entries together with host.cores.
+run_case engine_threads_2 bucketed grouped --engine-threads=2
+run_case engine_threads_4 bucketed grouped --engine-threads=4
 
 # Campaign throughput: two seed replications at the same scale, fanned over
 # the requested worker threads (0 = hardware concurrency).
@@ -79,6 +89,8 @@ jq -n \
   --slurpfile cur "$TMP/bucketed.json" \
   --slurpfile ref "$TMP/reference.json" \
   --slurpfile sweep_ref "$TMP/per_config_sweep.json" \
+  --slurpfile eng2 "$TMP/engine_threads_2.json" \
+  --slurpfile eng4 "$TMP/engine_threads_4.json" \
   --slurpfile base "$TMP/baseline.json" \
   --arg kernel "$(uname -sr)" \
   --arg recorded "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -93,6 +105,8 @@ jq -n \
      current: $cur[0],
      reference_queue: $ref[0],
      per_config_sweep: $sweep_ref[0],
+     engine_threads_2: $eng2[0],
+     engine_threads_4: $eng4[0],
      baseline_pre_change: $base[0],
      campaign: {
        studies: $campaign_studies,
@@ -107,6 +121,10 @@ jq -n \
          ($ref[0].stages_ms.total / $cur[0].stages_ms.total),
        sweep_grouped_vs_per_config:
          ($sweep_ref[0].stages_ms.sweep / $cur[0].stages_ms.sweep),
+       study_stage_engine_threads_2_vs_serial:
+         ($cur[0].stages_ms.study / $eng2[0].stages_ms.study),
+       study_stage_engine_threads_4_vs_serial:
+         ($cur[0].stages_ms.study / $eng4[0].stages_ms.study),
        end_to_end_vs_baseline:
          (if $base[0] == null then null
           else $base[0].stages_ms.total / $cur[0].stages_ms.total end),
