@@ -14,6 +14,8 @@
 //   --engine-threads=1     event-engine threads (1 = serial; >1 sharded)
 //   --queue=bucketed       event queue: bucketed | reference
 //   --sweep-mode=grouped   cache sweep execution: grouped | per-config
+//   --trace-mode=streaming trace pipeline: streaming (bounded RSS) |
+//                          materialized (in-memory reference)
 //   --out=<path>           also write the JSON there (stdout always)
 //   --check-digest=0x...   exit non-zero unless the trace digest matches
 //
@@ -27,8 +29,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+#include <utility>
+
 #include "analysis/session.hpp"
 #include "cache/simulators.hpp"
+#include "core/stream_study.hpp"
 #include "core/study.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
@@ -113,7 +119,7 @@ void print_sweep_results(
 int run(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"scale", "seed", "threads", "engine-threads", "queue",
-                     "sweep-mode", "out", "check-digest"});
+                     "sweep-mode", "trace-mode", "out", "check-digest"});
   const double scale = flags.get_double("scale", 0.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
@@ -131,6 +137,8 @@ int run(int argc, char** argv) {
   const cache::SweepMode sweep_mode = sweep_mode_name == "grouped"
                                           ? cache::SweepMode::kGrouped
                                           : cache::SweepMode::kPerConfig;
+  const std::string trace_mode_name = flags.get("trace-mode", "streaming");
+  const core::TraceMode trace_mode = core::parse_trace_mode(trace_mode_name);
 
   core::StudyConfig config;
   config.workload.scale = scale;
@@ -139,24 +147,61 @@ int run(int argc, char** argv) {
                                           : sim::QueueKind::kReferenceHeap;
   config.engine_threads = engine_threads;
 
+  util::ThreadPool pool(threads);
   const auto total_start = WallClock::now();
   auto stage_start = WallClock::now();
-  const core::StudyOutput study = core::run_study(config);
-  const double study_ms = ms_since(stage_start);
 
-  util::ThreadPool pool(threads);
-  stage_start = WallClock::now();
-  const analysis::SessionStore store =
-      analysis::SessionStore::build_parallel(study.sorted, pool);
-  const std::set<cache::SessionKey> read_only = store.read_only_sessions();
-  const double sessions_ms = ms_since(stage_start);
+  // Mode-dependent products.  The materialized StudyOutput must outlive the
+  // SweepRunner, which borrows its sorted trace; the streaming path hands
+  // the runner an owned replay-op spill instead.
+  std::optional<core::StudyOutput> materialized;
+  analysis::SessionStore store;
+  std::set<cache::SessionKey> read_only;
+  std::optional<cache::SweepRunner> sweeps;
+  std::uint64_t digest = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t trace_records = 0;
+  std::uint64_t sorted_records = 0;
+  sim::ShardStats shard_stats;
+  double study_ms = 0.0;
+  double sessions_ms = 0.0;
+
+  if (trace_mode == core::TraceMode::kStreaming) {
+    // The study stage covers the simulation AND the one postprocessing
+    // merge that feeds every accumulator, so the dedicated sessions stage
+    // below is just the (cheap) store hand-off.
+    core::StreamedStudyOutput out = core::run_streamed_study(config);
+    study_ms = ms_since(stage_start);
+    digest = out.trace_digest;
+    events_dispatched = out.events_dispatched;
+    trace_records = out.records;
+    sorted_records = out.streamed_records;
+    shard_stats = out.shard_stats;
+    stage_start = WallClock::now();
+    store = std::move(out.sessions);
+    read_only = store.read_only_sessions();
+    sessions_ms = ms_since(stage_start);
+    sweeps.emplace(std::move(out.replay_ops), read_only, pool);
+  } else {
+    materialized = core::run_study(config);
+    study_ms = ms_since(stage_start);
+    digest = materialized->raw.digest();
+    events_dispatched = materialized->events_dispatched;
+    trace_records = materialized->raw.record_count();
+    sorted_records = materialized->sorted.records.size();
+    shard_stats = materialized->shard_stats;
+    stage_start = WallClock::now();
+    store = analysis::SessionStore::build_parallel(materialized->sorted, pool);
+    read_only = store.read_only_sessions();
+    sessions_ms = ms_since(stage_start);
+    sweeps.emplace(materialized->sorted, read_only, pool);
+  }
 
   const auto compute_configs = compute_sweep();
   const auto io_configs = io_sweep();
   stage_start = WallClock::now();
-  const cache::SweepRunner sweeps(study.sorted, read_only, pool);
-  const auto compute_results = sweeps.run_compute(compute_configs, sweep_mode);
-  const auto io_results = sweeps.run_io(io_configs, sweep_mode);
+  const auto compute_results = sweeps->run_compute(compute_configs, sweep_mode);
+  const auto io_results = sweeps->run_io(io_configs, sweep_mode);
   const double sweep_ms = ms_since(stage_start);
   const double total_ms = ms_since(total_start);
 
@@ -167,19 +212,19 @@ int run(int argc, char** argv) {
           ? compute_plan.passes() + io_plan.passes()
           : compute_configs.size() + io_configs.size();
   std::fprintf(stderr, "sweep mode: %s\n", to_string(sweep_mode));
+  std::fprintf(stderr, "trace mode: %s\n", to_string(trace_mode));
   std::fprintf(stderr, "compute plan: %s\n", compute_plan.describe().c_str());
   std::fprintf(stderr, "io plan: %s\n", io_plan.describe().c_str());
   print_sweep_results(compute_configs, compute_results, io_configs,
                       io_results);
 
-  const std::uint64_t digest = study.raw.digest();
   char digest_hex[32];
   std::snprintf(digest_hex, sizeof digest_hex, "0x%016llx",
                 static_cast<unsigned long long>(digest));
 
   const double events_per_sec =
       study_ms > 0.0
-          ? static_cast<double>(study.events_dispatched) / (study_ms / 1000.0)
+          ? static_cast<double>(events_dispatched) / (study_ms / 1000.0)
           : 0.0;
 
   std::string json;
@@ -189,7 +234,7 @@ int run(int argc, char** argv) {
   json += "  \"threads\": " + std::to_string(pool.thread_count()) + ",\n";
   json += "  \"engine_threads\": " + std::to_string(engine_threads) + ",\n";
   if (engine_threads > 1) {
-    const sim::ShardStats& shards = study.shard_stats;
+    const sim::ShardStats& shards = shard_stats;
     json += "  \"engine_windows\": " + std::to_string(shards.windows) + ",\n";
     json += "  \"engine_staged\": " + std::to_string(shards.staged) + ",\n";
     json += "  \"engine_direct\": " + std::to_string(shards.direct) + ",\n";
@@ -200,6 +245,7 @@ int run(int argc, char** argv) {
   }
   json += "  \"queue\": \"" + queue_name + "\",\n";
   json += "  \"sweep_mode\": \"" + sweep_mode_name + "\",\n";
+  json += "  \"trace_mode\": \"" + trace_mode_name + "\",\n";
   json += "  \"sweep_passes\": " + std::to_string(sweep_passes) + ",\n";
   json += "  \"stages_ms\": {\n";
   json += "    \"study\": " + std::to_string(study_ms) + ",\n";
@@ -208,13 +254,11 @@ int run(int argc, char** argv) {
   json += "    \"total\": " + std::to_string(total_ms) + "\n";
   json += "  },\n";
   json += "  \"events_dispatched\": " +
-          std::to_string(study.events_dispatched) + ",\n";
+          std::to_string(events_dispatched) + ",\n";
   json += "  \"events_per_sec\": " + std::to_string(events_per_sec) + ",\n";
-  json += "  \"trace_records\": " + std::to_string(study.raw.record_count()) +
-          ",\n";
-  json += "  \"sorted_records\": " +
-          std::to_string(study.sorted.records.size()) + ",\n";
-  json += "  \"replay_ops\": " + std::to_string(sweeps.replay_ops()) + ",\n";
+  json += "  \"trace_records\": " + std::to_string(trace_records) + ",\n";
+  json += "  \"sorted_records\": " + std::to_string(sorted_records) + ",\n";
+  json += "  \"replay_ops\": " + std::to_string(sweeps->replay_ops()) + ",\n";
   json += "  \"compute_sweep_points\": " +
           std::to_string(compute_results.size()) + ",\n";
   json += "  \"io_sweep_points\": " + std::to_string(io_results.size()) +

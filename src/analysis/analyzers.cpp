@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -152,32 +153,40 @@ std::string FileSizeResult::render() const {
 
 // ---- Figure 4 -------------------------------------------------------------
 
-RequestSizeResult analyze_request_sizes(const trace::SortedTrace& trace) {
-  RequestSizeResult out;
-  Histogram rc, rb, wc, wb;
-  for (const auto& r : trace.records) {
-    if (r.kind == EventKind::kRead) {
-      rc.add(r.bytes);
-      rb.add(r.bytes, static_cast<double>(r.bytes));
-      ++out.read_requests;
-      out.bytes_read += r.bytes;
-    } else if (r.kind == EventKind::kWrite) {
-      wc.add(r.bytes);
-      wb.add(r.bytes, static_cast<double>(r.bytes));
-      ++out.write_requests;
-      out.bytes_written += r.bytes;
-    }
+void RequestSizeAccumulator::on_record(const Record& r) {
+  if (r.kind == EventKind::kRead) {
+    read_count_.add(r.bytes);
+    read_bytes_.add(r.bytes, static_cast<double>(r.bytes));
+    ++out_.read_requests;
+    out_.bytes_read += r.bytes;
+  } else if (r.kind == EventKind::kWrite) {
+    write_count_.add(r.bytes);
+    write_bytes_.add(r.bytes, static_cast<double>(r.bytes));
+    ++out_.write_requests;
+    out_.bytes_written += r.bytes;
   }
+}
+
+RequestSizeResult RequestSizeAccumulator::finish() {
   constexpr std::int64_t kSmall = 4000;
-  out.small_read_fraction = rc.fraction_at_or_below(kSmall - 1);
-  out.small_read_data_fraction = rb.fraction_at_or_below(kSmall - 1);
-  out.small_write_fraction = wc.fraction_at_or_below(kSmall - 1);
-  out.small_write_data_fraction = wb.fraction_at_or_below(kSmall - 1);
-  out.reads_by_count = Cdf(rc);
-  out.reads_by_bytes = Cdf(rb);
-  out.writes_by_count = Cdf(wc);
-  out.writes_by_bytes = Cdf(wb);
-  return out;
+  out_.small_read_fraction = read_count_.fraction_at_or_below(kSmall - 1);
+  out_.small_read_data_fraction = read_bytes_.fraction_at_or_below(kSmall - 1);
+  out_.small_write_fraction = write_count_.fraction_at_or_below(kSmall - 1);
+  out_.small_write_data_fraction =
+      write_bytes_.fraction_at_or_below(kSmall - 1);
+  out_.reads_by_count = Cdf(read_count_);
+  out_.reads_by_bytes = Cdf(read_bytes_);
+  out_.writes_by_count = Cdf(write_count_);
+  out_.writes_by_bytes = Cdf(write_bytes_);
+  return std::move(out_);
+}
+
+RequestSizeResult analyze_request_sizes(const trace::SortedTrace& trace) {
+  // Reference wrapper over the streaming accumulator: one code path for
+  // both trace modes.
+  RequestSizeAccumulator acc;
+  for (const auto& r : trace.records) acc.on_record(r);
+  return acc.finish();
 }
 
 std::string RequestSizeResult::render() const {

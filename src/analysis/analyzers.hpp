@@ -73,6 +73,20 @@ struct RequestSizeResult {
 [[nodiscard]] RequestSizeResult analyze_request_sizes(
     const trace::SortedTrace& trace);
 
+/// Streaming form of analyze_request_sizes: push records, then finish().
+/// The materialized overload above is implemented on top of this, so both
+/// paths share one code path and one result.
+class RequestSizeAccumulator final : public trace::RecordSink {
+ public:
+  void on_record(const Record& r) override;
+  /// Computes the CDFs and small-request fractions.  Call once.
+  [[nodiscard]] RequestSizeResult finish();
+
+ private:
+  RequestSizeResult out_;
+  util::Histogram read_count_, read_bytes_, write_count_, write_bytes_;
+};
+
 // ---- Figures 5/6: sequentiality ------------------------------------------
 struct SequentialityResult {
   struct PerClass {

@@ -23,6 +23,13 @@ double table1_fraction(std::size_t bucket) {
 std::vector<FidelityCheck> check_paper_fidelity(
     const SessionStore& store, const trace::SortedTrace& trace,
     std::int64_t block_size, const CacheFigures* cache) {
+  return check_paper_fidelity(store, analyze_request_sizes(trace),
+                              block_size, cache);
+}
+
+std::vector<FidelityCheck> check_paper_fidelity(
+    const SessionStore& store, const RequestSizeResult& request_sizes,
+    std::int64_t block_size, const CacheFigures* cache) {
   std::vector<FidelityCheck> out;
   const auto add = [&](const char* figure, const char* name, double measured,
                        double expected, double tolerance) {
@@ -43,7 +50,7 @@ std::vector<FidelityCheck> check_paper_fidelity(
         0.15);
   }
   {  // Figure 4: request-size distribution anchors.
-    const auto r = analyze_request_sizes(trace);
+    const auto& r = request_sizes;
     add("fig4", "small_read_fraction", r.small_read_fraction,
         paper::kSmallReadFraction, 0.10);
     add("fig4", "small_read_data_fraction", r.small_read_data_fraction,

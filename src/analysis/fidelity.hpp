@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzers.hpp"
 #include "analysis/session.hpp"
 
 namespace charisma::analysis {
@@ -43,7 +44,14 @@ struct CacheFigures {
 
 /// Runs every trace-derived check (Figures 1-7, Tables 1-3, §4.2, §4.6)
 /// and, when `cache` is non-null, the Figure 8 checks.  Order is fixed and
-/// code-defined.
+/// code-defined.  `request_sizes` is the finished Figure 4 analysis — the
+/// streaming pipeline passes its accumulator result, the materialized
+/// overload below computes it from the sorted trace.
+[[nodiscard]] std::vector<FidelityCheck> check_paper_fidelity(
+    const SessionStore& store, const RequestSizeResult& request_sizes,
+    std::int64_t block_size, const CacheFigures* cache = nullptr);
+
+/// Convenience for materialized traces: measures the request sizes itself.
 [[nodiscard]] std::vector<FidelityCheck> check_paper_fidelity(
     const SessionStore& store, const trace::SortedTrace& trace,
     std::int64_t block_size, const CacheFigures* cache = nullptr);

@@ -81,12 +81,19 @@ std::vector<double> index_grid(std::size_t n, double first) {
 FigureSet collect_trace_figures(const SessionStore& store,
                                 const trace::SortedTrace& trace,
                                 std::int64_t block_size) {
+  return collect_trace_figures(store, analyze_request_sizes(trace),
+                               block_size);
+}
+
+FigureSet collect_trace_figures(const SessionStore& store,
+                                const RequestSizeResult& request_sizes,
+                                std::int64_t block_size) {
   FigureSet set;
   const auto sizes = request_size_grid();
   const auto fracs = fraction_grid();
 
   {  // Figure 4: request sizes, by request count and weighted by bytes.
-    const auto r = analyze_request_sizes(trace);
+    const auto& r = request_sizes;
     set.add("fig4_reads", sizes, sample(r.reads_by_count, sizes));
     set.add("fig4_read_bytes", sizes, sample(r.reads_by_bytes, sizes));
     set.add("fig4_writes", sizes, sample(r.writes_by_count, sizes));

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzers.hpp"
 #include "analysis/session.hpp"
 #include "util/histogram.hpp"
 
@@ -75,7 +76,16 @@ struct FigureEnvelope {
 
 /// Samples the trace-derived figures: Figure 4 (request-size CDFs by count
 /// and by bytes), Figures 5/6 (per-class sequentiality CDFs), Figure 7
-/// (per-class sharing CDFs), and Tables 1-3 (bucket fractions).
+/// (per-class sharing CDFs), and Tables 1-3 (bucket fractions).  Figure 4
+/// comes from `request_sizes` — the one figure whose input is the raw record
+/// stream, not the session store — so both trace modes collect figures from
+/// the same bounded inputs.
+[[nodiscard]] FigureSet collect_trace_figures(
+    const SessionStore& store, const RequestSizeResult& request_sizes,
+    std::int64_t block_size);
+
+/// Materialized-trace convenience overload: runs analyze_request_sizes on
+/// `trace`, then collects as above.
 [[nodiscard]] FigureSet collect_trace_figures(const SessionStore& store,
                                               const trace::SortedTrace& trace,
                                               std::int64_t block_size);

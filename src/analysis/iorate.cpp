@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -9,54 +10,72 @@
 
 namespace charisma::analysis {
 
-IoRateResult analyze_io_rate(const trace::SortedTrace& trace,
-                             const IoRateConfig& config) {
+IoRateAccumulator::IoRateAccumulator(util::MicroSec trace_start,
+                                     util::MicroSec trace_end,
+                                     const IoRateConfig& config)
+    : start_(trace_start), end_(trace_end) {
   util::check(config.bucket > 0, "bucket width must be positive");
-  IoRateResult out;
-  out.bucket_width = config.bucket;
-  if (trace.records.empty()) return out;
+  out_.bucket_width = config.bucket;
+}
 
-  const util::MicroSec start = trace.header.trace_start;
-  util::MicroSec end = trace.header.trace_end;
-  for (const auto& r : trace.records) end = std::max(end, r.timestamp);
-  const auto buckets = static_cast<std::size_t>(
-      (end - start) / config.bucket + 1);
-  out.timeline.resize(buckets);
-  for (std::size_t i = 0; i < buckets; ++i) {
-    out.timeline[i].start = start + static_cast<util::MicroSec>(i) *
-                                        config.bucket;
+void IoRateAccumulator::on_record(const trace::Record& r) {
+  saw_any_ = true;
+  end_ = std::max(end_, r.timestamp);
+  if (!r.is_data() || r.bytes <= 0) return;
+  // Corrected timestamps can land before trace_start; those clamp into the
+  // first bucket.  Nothing lands past end_ because end_ tracks the maximum,
+  // so growing the timeline to the record's bucket is the only upper bound
+  // needed — finish() pads the quiet tail out to end_.
+  const auto i = static_cast<std::size_t>(std::max<util::MicroSec>(
+      (r.timestamp - start_) / out_.bucket_width, 0));
+  if (i >= out_.timeline.size()) out_.timeline.resize(i + 1);
+  auto& b = out_.timeline[i];
+  ++b.requests;
+  if (r.kind == trace::EventKind::kRead) {
+    b.bytes_read += r.bytes;
+  } else {
+    b.bytes_written += r.bytes;
   }
+}
 
-  for (const auto& r : trace.records) {
-    if (!r.is_data() || r.bytes <= 0) continue;
-    const auto i = static_cast<std::size_t>(
-        std::clamp<util::MicroSec>((r.timestamp - start) / config.bucket, 0,
-                                   static_cast<util::MicroSec>(buckets) - 1));
-    auto& b = out.timeline[i];
-    ++b.requests;
-    if (r.kind == trace::EventKind::kRead) {
-      b.bytes_read += r.bytes;
-    } else {
-      b.bytes_written += r.bytes;
-    }
+IoRateResult IoRateAccumulator::finish() {
+  if (!saw_any_) {
+    out_.timeline.clear();
+    return std::move(out_);
+  }
+  const auto buckets = static_cast<std::size_t>(
+      (end_ - start_) / out_.bucket_width + 1);
+  out_.timeline.resize(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    out_.timeline[i].start =
+        start_ + static_cast<util::MicroSec>(i) * out_.bucket_width;
   }
 
   const double seconds =
-      static_cast<double>(config.bucket) / util::kSecond;
+      static_cast<double>(out_.bucket_width) / util::kSecond;
   double total_mb = 0.0;
   std::size_t quiet = 0;
-  for (const auto& b : out.timeline) {
+  for (const auto& b : out_.timeline) {
     const double mb =
         static_cast<double>(b.bytes_read + b.bytes_written) / 1e6;
     total_mb += mb;
-    out.peak_mb_per_s = std::max(out.peak_mb_per_s, mb / seconds);
+    out_.peak_mb_per_s = std::max(out_.peak_mb_per_s, mb / seconds);
     if (b.requests == 0) ++quiet;
   }
-  out.mean_mb_per_s =
-      total_mb / (static_cast<double>(buckets) * seconds);
-  out.quiet_fraction =
+  out_.mean_mb_per_s = total_mb / (static_cast<double>(buckets) * seconds);
+  out_.quiet_fraction =
       static_cast<double>(quiet) / static_cast<double>(buckets);
-  return out;
+  return std::move(out_);
+}
+
+IoRateResult analyze_io_rate(const trace::SortedTrace& trace,
+                             const IoRateConfig& config) {
+  // Reference wrapper over the streaming accumulator: one code path for
+  // both trace modes.
+  IoRateAccumulator acc(trace.header.trace_start, trace.header.trace_end,
+                        config);
+  for (const auto& r : trace.records) acc.on_record(r);
+  return acc.finish();
 }
 
 std::string IoRateResult::render() const {

@@ -44,4 +44,25 @@ struct IoRateResult {
 [[nodiscard]] IoRateResult analyze_io_rate(const trace::SortedTrace& trace,
                                            const IoRateConfig& config = {});
 
+/// Streaming form of analyze_io_rate: the timeline grows one bucket at a
+/// time as records arrive, so resident state is the timeline (small — one
+/// entry per bucket of the traced period), never the trace.  The
+/// materialized overload above is implemented on top of this.
+class IoRateAccumulator final : public trace::RecordSink {
+ public:
+  /// `trace_start`/`trace_end` are the header bounds; the end grows if a
+  /// corrected timestamp lands past it, exactly as in analyze_io_rate.
+  IoRateAccumulator(util::MicroSec trace_start, util::MicroSec trace_end,
+                    const IoRateConfig& config = {});
+  void on_record(const trace::Record& r) override;
+  /// Finalizes bucket starts and the rate statistics.  Call once.
+  [[nodiscard]] IoRateResult finish();
+
+ private:
+  util::MicroSec start_ = 0;
+  util::MicroSec end_ = 0;
+  bool saw_any_ = false;
+  IoRateResult out_;
+};
+
 }  // namespace charisma::analysis

@@ -211,6 +211,23 @@ class SessionBuilder {
 
 }  // namespace detail
 
+SessionAccumulator::SessionAccumulator(bool track_coverage)
+    : builder_(std::make_unique<detail::SessionBuilder>(track_coverage)) {}
+
+SessionAccumulator::~SessionAccumulator() = default;
+
+void SessionAccumulator::on_record(const Record& r) { builder_->add(r); }
+
+SessionStore SessionAccumulator::take(const trace::TraceHeader& header) {
+  builder_->finish();
+  SessionStore store;
+  store.start_ = header.trace_start;
+  store.end_ = header.trace_end;
+  store.sessions_ = std::move(builder_->sessions());
+  store.job_events_ = std::move(builder_->job_events());
+  return store;
+}
+
 SessionStore::SessionStore(const trace::SortedTrace& trace,
                            bool track_coverage) {
   start_ = trace.header.trace_start;

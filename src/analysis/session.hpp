@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "trace/postprocess.hpp"
+#include "trace/spill.hpp"
 #include "util/thread_pool.hpp"
 
 namespace charisma::analysis {
@@ -94,6 +96,9 @@ class SessionBuilder;
 /// Everything the analyzers need, built in one pass.
 class SessionStore {
  public:
+  /// Empty store: no sessions, zero trace bounds.  The streaming pipeline
+  /// default-constructs one and move-assigns SessionAccumulator::take().
+  SessionStore() = default;
   /// `track_coverage` enables the byte-coverage ranges (needed only by the
   /// sharing analysis; costs memory on huge traces).
   explicit SessionStore(const trace::SortedTrace& trace,
@@ -123,12 +128,31 @@ class SessionStore {
 
  private:
   friend class detail::SessionBuilder;
-  SessionStore() = default;
+  friend class SessionAccumulator;
 
   std::vector<FileSession> sessions_;
   std::vector<JobEvent> job_events_;
   MicroSec start_ = 0;
   MicroSec end_ = 0;
+};
+
+/// Push-based session detector for the streaming trace pipeline: records
+/// arrive via on_record (in postprocessed order), take() hands out the
+/// finished store.  Produces exactly the sessions — and the session order —
+/// of the serial SessionStore constructor.
+class SessionAccumulator final : public trace::RecordSink {
+ public:
+  explicit SessionAccumulator(bool track_coverage = true);
+  ~SessionAccumulator() override;
+  SessionAccumulator(const SessionAccumulator&) = delete;
+  SessionAccumulator& operator=(const SessionAccumulator&) = delete;
+
+  void on_record(const Record& r) override;
+  /// Finalizes and hands out the store; the trace bounds come from `header`.
+  [[nodiscard]] SessionStore take(const trace::TraceHeader& header);
+
+ private:
+  std::unique_ptr<detail::SessionBuilder> builder_;
 };
 
 /// Merges `r` into sorted, disjoint `ranges` (coalescing neighbours).

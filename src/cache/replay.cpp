@@ -1,0 +1,47 @@
+#include "cache/replay.hpp"
+
+#include "trace/record.hpp"
+
+namespace charisma::cache {
+
+ReplayOpSink::ReplayOpSink(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open replay spill: " + path_);
+  }
+  buf_.reserve(ReplayLog::kChunkOps);
+}
+
+void ReplayOpSink::on_record(const trace::Record& r) {
+  const bool is_read = r.kind == trace::EventKind::kRead;
+  if ((!is_read && r.kind != trace::EventKind::kWrite) || r.bytes <= 0) {
+    return;
+  }
+  // read_only_session stays false on disk: sessions are still accumulating
+  // while this sink runs, so ReplayLog resolves the flag at read time.
+  buf_.push_back(
+      {r.file, r.job, r.node, r.offset, r.bytes, is_read, false});
+  ++count_;
+  if (buf_.size() >= ReplayLog::kChunkOps) flush_buffer();
+}
+
+void ReplayOpSink::flush_buffer() {
+  if (buf_.empty()) return;
+  out_.write(reinterpret_cast<const char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size() *
+                                          sizeof(detail::ReplayOp)));
+  if (!out_) throw std::runtime_error("replay spill write failed: " + path_);
+  buf_.clear();
+}
+
+ReplayOpSpill ReplayOpSink::finish() {
+  CHECK(!finished_, "ReplayOpSink::finish called twice");
+  finished_ = true;
+  flush_buffer();
+  out_.flush();
+  if (!out_) throw std::runtime_error("replay spill write failed: " + path_);
+  out_.close();
+  return ReplayOpSpill(path_, count_);
+}
+
+}  // namespace charisma::cache

@@ -1,0 +1,204 @@
+// The cache sweeps' op source (ROADMAP item 3).
+//
+// Cache sweeps are the one trace consumer that needs *multiple* passes, so a
+// single push-based sink cannot feed them.  Instead, the streaming pipeline
+// spills the pre-filtered replay ops (ReplayOpSink, a RecordSink) to a
+// private temp file during the one postprocessing merge, and ReplayLog
+// replays that file chunk-by-chunk per pass — each traversal opens its own
+// stream, so parallel sweep passes stay safe, and resident memory per pass
+// is one fixed-size chunk instead of the op vector.
+//
+// The read-only-session flag cannot be known while spilling (sessions finish
+// only after the last record), so ops are spilled without it and the flag is
+// resolved during traversal with the same per-(job, file) memoized set
+// lookup prepare_replay uses — the streams are identical record for record.
+//
+// ReplayLog also wraps a plain in-memory op vector (the materialized
+// reference path), so every simulator below it has exactly one op-source
+// type and the two trace modes cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "trace/spill.hpp"
+#include "util/check.hpp"
+
+namespace charisma::cache {
+
+using cfs::FileId;
+using cfs::JobId;
+using cfs::NodeId;
+using SessionKey = std::pair<JobId, FileId>;
+
+namespace detail {
+
+/// One replayable data request, pre-filtered from the trace: only reads and
+/// writes with positive byte counts survive, and the read-only-session
+/// lookup is resolved once instead of per (config, record).
+struct ReplayOp {
+  FileId file = cfs::kNoFile;
+  JobId job = cfs::kNoJob;
+  NodeId node = 0;
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  bool is_read = false;
+  bool read_only_session = false;
+};
+
+}  // namespace detail
+
+/// A finished on-disk op spill: raw detail::ReplayOp frames, written and
+/// read back by the same binary within one run.  Owns (and deletes) the
+/// backing file.  The read_only_session field in the frames is unresolved.
+class ReplayOpSpill {
+ public:
+  ReplayOpSpill() = default;
+  ReplayOpSpill(std::string path, std::uint64_t count)
+      : path_(std::move(path)), count_(count), owns_file_(true) {}
+  ReplayOpSpill(ReplayOpSpill&& other) noexcept
+      : path_(std::move(other.path_)),
+        count_(other.count_),
+        owns_file_(std::exchange(other.owns_file_, false)) {
+    other.path_.clear();
+    other.count_ = 0;
+  }
+  ReplayOpSpill& operator=(ReplayOpSpill&& other) noexcept {
+    if (this != &other) {
+      remove_backing_file();
+      path_ = std::move(other.path_);
+      count_ = other.count_;
+      owns_file_ = std::exchange(other.owns_file_, false);
+      other.path_.clear();
+      other.count_ = 0;
+    }
+    return *this;
+  }
+  ReplayOpSpill(const ReplayOpSpill&) = delete;
+  ReplayOpSpill& operator=(const ReplayOpSpill&) = delete;
+  ~ReplayOpSpill() { remove_backing_file(); }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  void remove_backing_file() noexcept {
+    if (owns_file_ && !path_.empty()) std::remove(path_.c_str());
+    owns_file_ = false;
+  }
+  std::string path_;
+  std::uint64_t count_ = 0;
+  bool owns_file_ = false;
+};
+
+/// RecordSink that filters the postprocessed stream down to replayable data
+/// requests and spills them as raw frames.  finish() hands out the spill.
+class ReplayOpSink final : public trace::RecordSink {
+ public:
+  explicit ReplayOpSink(std::string path);
+  void on_record(const trace::Record& r) override;
+  [[nodiscard]] ReplayOpSpill finish();
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<detail::ReplayOp> buf_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// The sweeps' one op-source type: either a borrowed/owned in-memory op
+/// vector (flags already resolved — the materialized reference path) or an
+/// owned op spill replayed from disk with flags resolved per traversal.
+/// Traversals are const and open private streams, so concurrent passes from
+/// pool workers are safe in both modes.
+class ReplayLog {
+ public:
+  /// Ops streamed to traversal callbacks per chunk; bounds file-mode
+  /// resident memory and gives multi-shape passes their L2-hot replay unit.
+  static constexpr std::size_t kChunkOps = 4096;
+
+  ReplayLog() = default;
+  /// In-memory log; `ops` must carry resolved read_only_session flags.
+  explicit ReplayLog(std::vector<detail::ReplayOp> ops)
+      : ops_(std::move(ops)) {}
+  /// File-backed log.  `read_only` is borrowed and must outlive the log; it
+  /// resolves each op's read_only_session flag during traversal.
+  ReplayLog(ReplayOpSpill spill, const std::set<SessionKey>& read_only)
+      : spill_(std::move(spill)), read_only_(&read_only), file_mode_(true) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return file_mode_ ? static_cast<std::size_t>(spill_.count())
+                      : ops_.size();
+  }
+
+  /// Calls f(const detail::ReplayOp*, std::size_t) for successive chunks of
+  /// at most kChunkOps ops, in stream order.
+  template <typename F>
+  void for_each_chunk(F&& f) const {
+    if (!file_mode_) {
+      for (std::size_t base = 0; base < ops_.size(); base += kChunkOps) {
+        const std::size_t n = std::min(kChunkOps, ops_.size() - base);
+        f(ops_.data() + base, n);
+      }
+      return;
+    }
+    std::ifstream in(spill_.path(), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open replay spill: " + spill_.path());
+    }
+    std::vector<detail::ReplayOp> buf(
+        std::min<std::size_t>(kChunkOps,
+                              static_cast<std::size_t>(spill_.count())));
+    // Per-traversal memo, same semantics as prepare_replay: ops arrive in
+    // bursts for one (job, file), so one set lookup covers the run.
+    SessionKey last_key{cfs::kNoJob, cfs::kNoFile};
+    bool last_read_only = false;
+    std::uint64_t remaining = spill_.count();
+    while (remaining > 0) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kChunkOps, remaining));
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(n * sizeof(detail::ReplayOp)));
+      CHECK(static_cast<std::size_t>(in.gcount()) ==
+                n * sizeof(detail::ReplayOp),
+            "replay spill truncated: ", spill_.path());
+      for (std::size_t i = 0; i < n; ++i) {
+        detail::ReplayOp& op = buf[i];
+        const SessionKey key{op.job, op.file};
+        if (key != last_key) {
+          last_key = key;
+          last_read_only = read_only_->find(key) != read_only_->end();
+        }
+        op.read_only_session = last_read_only;
+      }
+      f(static_cast<const detail::ReplayOp*>(buf.data()), n);
+      remaining -= n;
+    }
+  }
+
+  /// Calls f(const detail::ReplayOp&) for every op in stream order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for_each_chunk([&](const detail::ReplayOp* ops, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) f(ops[i]);
+    });
+  }
+
+ private:
+  std::vector<detail::ReplayOp> ops_;  // in-memory mode
+  ReplayOpSpill spill_;                // file mode
+  const std::set<SessionKey>* read_only_ = nullptr;
+  bool file_mode_ = false;
+};
+
+}  // namespace charisma::cache

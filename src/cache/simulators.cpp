@@ -39,7 +39,7 @@ std::vector<ReplayOp> prepare_replay(const trace::SortedTrace& trace,
 
 namespace {
 
-ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
+ComputeCacheResult replay_compute_cache(const ReplayLog& ops,
                                         const ComputeCacheConfig& config) {
   util::check(config.block_size > 0, "bad block size");
   ComputeCacheResult out;
@@ -51,8 +51,10 @@ ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
   };
   std::map<JobId, JobCount> per_job;
 
-  for (const ReplayOp& op : ops) {
-    if (!op.is_read || !op.read_only_session) continue;
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
+    if (!op.is_read || !op.read_only_session) return;
     BlockCache& cache = caches.at(op.job, op.node);
     const auto [first, last] = span_of(op, config.block_size);
     // "Fully satisfied from the local buffer": every touched block present
@@ -74,7 +76,7 @@ ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
       ++jc.hits;
       ++out.hits;
     }
-  }
+  });
 
   for (const auto& [job, jc] : per_job) {
     const double rate = hit_fraction(jc.hits, jc.reads);
@@ -91,7 +93,7 @@ ComputeCacheResult replay_compute_cache(const std::vector<ReplayOp>& ops,
   return out;
 }
 
-IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
+IoNodeSimResult replay_io_cache(const ReplayLog& ops,
                                 const IoNodeSimConfig& config) {
   util::check(config.io_nodes >= 1, "need at least one I/O node");
   util::check(config.block_size > 0, "bad block size");
@@ -106,7 +108,9 @@ IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
   }
   PerNodeCaches compute(config.compute_buffers_per_node, Policy::kLru);
 
-  for (const ReplayOp& op : ops) {
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
     const auto [first, last] = span_of(op, config.block_size);
 
     if (config.compute_buffers_per_node > 0 && op.is_read &&
@@ -124,7 +128,7 @@ IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
       }
       if (full_hit) {
         ++out.filtered_by_compute;
-        continue;  // never reaches the I/O nodes
+        return;  // never reaches the I/O nodes
       }
     }
 
@@ -145,7 +149,7 @@ IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
       }
     }
     if (full_hit) ++out.request_hits;
-  }
+  });
   out.finalize_rates();
   return out;
 }
@@ -159,7 +163,7 @@ IoNodeSimResult replay_io_cache(const std::vector<ReplayOp>& ops,
 /// part of the group key, so every member sees the identical filtered
 /// stream.
 std::vector<IoNodeSimResult> batched_io_group(
-    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const ReplayLog& ops, const IoNodeSimConfig& shape,
     const std::vector<std::size_t>& per_node_buffers) {
   util::check(shape.io_nodes >= 1, "need at least one I/O node");
   util::check(shape.block_size > 0, "bad block size");
@@ -176,7 +180,9 @@ std::vector<IoNodeSimResult> batched_io_group(
   PerNodeCaches front(shape.compute_buffers_per_node, Policy::kLru);
   std::vector<IoNodeSimResult> out(n);
 
-  for (const ReplayOp& op : ops) {
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
     const auto [first, last] = span_of(op, shape.block_size);
 
     if (shape.compute_buffers_per_node > 0 && op.is_read &&
@@ -194,7 +200,7 @@ std::vector<IoNodeSimResult> batched_io_group(
       }
       if (full_hit) {
         for (std::size_t c = 0; c < n; ++c) ++out[c].filtered_by_compute;
-        continue;
+        return;
       }
     }
 
@@ -213,7 +219,7 @@ std::vector<IoNodeSimResult> batched_io_group(
       }
       if (full_hit) ++r.request_hits;
     }
-  }
+  });
   for (IoNodeSimResult& r : out) r.finalize_rates();
   return out;
 }
@@ -228,8 +234,7 @@ std::vector<IoNodeSimResult> batched_io_group(
 /// touch (the Figure 9 I/O-node-count spread, the §4.8 front singleton) into
 /// one trace pass instead of one full replay each.
 std::vector<IoNodeSimResult> multi_io_group(
-    const std::vector<ReplayOp>& ops,
-    const std::vector<IoNodeSimConfig>& shapes) {
+    const ReplayLog& ops, const std::vector<IoNodeSimConfig>& shapes) {
   const std::size_t n = shapes.size();
   std::vector<std::vector<BlockCache>> io_caches(n);
   std::vector<PerNodeCaches> fronts;
@@ -253,15 +258,13 @@ std::vector<IoNodeSimResult> multi_io_group(
   // shape's cache state gets a long uninterrupted run instead of being
   // evicted between every op by the other shapes' state.  Per shape the op
   // order is unchanged, so the counters stay bit-identical to a standalone
-  // replay.
-  constexpr std::size_t kChunkOps = 4096;
-  for (std::size_t base = 0; base < ops.size(); base += kChunkOps) {
-    const std::size_t end = std::min(ops.size(), base + kChunkOps);
+  // replay.  ReplayLog's chunking doubles as the file-mode read unit.
+  ops.for_each_chunk([&](const ReplayOp* chunk, std::size_t len) {
     for (std::size_t s = 0; s < n; ++s) {
       const IoNodeSimConfig& config = shapes[s];
       IoNodeSimResult& r = out[s];
-      for (std::size_t o = base; o < end; ++o) {
-        const ReplayOp& op = ops[o];
+      for (std::size_t o = 0; o < len; ++o) {
+        const ReplayOp& op = chunk[o];
         const auto [first, last] = span_of(op, config.block_size);
 
         if (config.compute_buffers_per_node > 0 && op.is_read &&
@@ -297,7 +300,7 @@ std::vector<IoNodeSimResult> multi_io_group(
         if (full_hit) ++r.request_hits;
       }
     }
-  }
+  });
   for (IoNodeSimResult& r : out) r.finalize_rates();
   return out;
 }
@@ -459,15 +462,15 @@ SweepPlan plan_of(const std::vector<SweepGrouping>& groups) {
 ComputeCacheResult simulate_compute_cache(const trace::SortedTrace& trace,
                                           const std::set<SessionKey>& read_only,
                                           const ComputeCacheConfig& config) {
-  return detail::replay_compute_cache(detail::prepare_replay(trace, read_only),
-                                      config);
+  return detail::replay_compute_cache(
+      ReplayLog(detail::prepare_replay(trace, read_only)), config);
 }
 
 IoNodeSimResult simulate_io_cache(const trace::SortedTrace& trace,
                                   const std::set<SessionKey>& read_only,
                                   const IoNodeSimConfig& config) {
-  return detail::replay_io_cache(detail::prepare_replay(trace, read_only),
-                                 config);
+  return detail::replay_io_cache(
+      ReplayLog(detail::prepare_replay(trace, read_only)), config);
 }
 
 // ---- Sweep plan ------------------------------------------------------------
@@ -507,12 +510,21 @@ SweepPlan plan_io_sweep(const std::vector<IoNodeSimConfig>& configs) {
 
 SweepRunner::SweepRunner(const trace::SortedTrace& trace,
                          const std::set<SessionKey>& read_only)
-    : prepared_(detail::prepare_replay(trace, read_only)) {}
+    : log_(detail::prepare_replay(trace, read_only)) {}
 
 SweepRunner::SweepRunner(const trace::SortedTrace& trace,
                          const std::set<SessionKey>& read_only,
                          util::ThreadPool& pool)
-    : prepared_(detail::prepare_replay(trace, read_only)), pool_(&pool) {}
+    : log_(detail::prepare_replay(trace, read_only)), pool_(&pool) {}
+
+SweepRunner::SweepRunner(ReplayOpSpill ops,
+                         const std::set<SessionKey>& read_only)
+    : log_(std::move(ops), read_only) {}
+
+SweepRunner::SweepRunner(ReplayOpSpill ops,
+                         const std::set<SessionKey>& read_only,
+                         util::ThreadPool& pool)
+    : log_(std::move(ops), read_only), pool_(&pool) {}
 
 void SweepRunner::for_each(
     std::size_t n, const std::function<void(std::size_t)>& body) const {
@@ -537,7 +549,7 @@ std::vector<ComputeCacheResult> SweepRunner::run_compute(
     // Audited: results[i] is a distinct slot per iteration.
     // NOLINTNEXTLINE(charisma-shared-capture)
     for_each(configs.size(), [&](std::size_t i) {
-      results[i] = detail::replay_compute_cache(prepared_, configs[i]);
+      results[i] = detail::replay_compute_cache(log_, configs[i]);
     });
     return results;
   }
@@ -551,11 +563,11 @@ std::vector<ComputeCacheResult> SweepRunner::run_compute(
     std::vector<ComputeCacheResult> points;
     if (group.kind() == SweepGroup::Kind::kStack) {
       points = detail::stack_compute_group(
-          prepared_, configs[group.members.front()].block_size,
+          log_, configs[group.members.front()].block_size,
           group.capacities);
     } else {
       points.push_back(detail::replay_compute_cache(
-          prepared_, configs[group.members.front()]));
+          log_, configs[group.members.front()]));
     }
     for (std::size_t m = 0; m < group.members.size(); ++m) {
       results[group.members[m]] = points[group.member_point[m]];
@@ -571,7 +583,7 @@ std::vector<IoNodeSimResult> SweepRunner::run_io(
     // Audited: results[i] is a distinct slot per iteration.
     // NOLINTNEXTLINE(charisma-shared-capture)
     for_each(configs.size(), [&](std::size_t i) {
-      results[i] = detail::replay_io_cache(prepared_, configs[i]);
+      results[i] = detail::replay_io_cache(log_, configs[i]);
     });
     return results;
   }
@@ -584,19 +596,19 @@ std::vector<IoNodeSimResult> SweepRunner::run_io(
     std::vector<IoNodeSimResult> points;
     switch (group.kind()) {
       case SweepGroup::Kind::kStack:
-        points = detail::stack_io_group(prepared_, shape, group.capacities);
+        points = detail::stack_io_group(log_, shape, group.capacities);
         break;
       case SweepGroup::Kind::kBatched:
         // FIFO gets the shared-hash single-pass; other non-inclusive
         // policies (IP-aware eviction is stateful) step real caches.
         points = shape.policy == Policy::kFifo && group.capacities.size() <= 16
-                     ? detail::fifo_io_group(prepared_, shape,
+                     ? detail::fifo_io_group(log_, shape,
                                              group.capacities)
-                     : detail::batched_io_group(prepared_, shape,
+                     : detail::batched_io_group(log_, shape,
                                                 group.capacities);
         break;
       case SweepGroup::Kind::kReplay:
-        points.push_back(detail::replay_io_cache(prepared_, shape));
+        points.push_back(detail::replay_io_cache(log_, shape));
         break;
       case SweepGroup::Kind::kMulti: {
         std::vector<IoNodeSimConfig> shapes;
@@ -604,7 +616,7 @@ std::vector<IoNodeSimResult> SweepRunner::run_io(
         for (const std::size_t c : group.point_configs) {
           shapes.push_back(configs[c]);
         }
-        points = detail::multi_io_group(prepared_, shapes);
+        points = detail::multi_io_group(log_, shapes);
         break;
       }
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/block_cache.hpp"
+#include "cache/replay.hpp"
 #include "trace/postprocess.hpp"
 #include "util/histogram.hpp"
 #include "util/mutex.hpp"
@@ -29,23 +30,12 @@
 namespace charisma::cache {
 
 using cfs::JobId;
-using SessionKey = std::pair<JobId, FileId>;
 
 namespace detail {
 
-/// One replayable data request, pre-filtered from the trace: only reads and
-/// writes with positive byte counts survive, and the read-only-session
-/// lookup is resolved once instead of per (config, record).
-struct ReplayOp {
-  FileId file = cfs::kNoFile;
-  JobId job = cfs::kNoJob;
-  NodeId node = 0;
-  std::int64_t offset = 0;
-  std::int64_t bytes = 0;
-  bool is_read = false;
-  bool read_only_session = false;
-};
-
+/// Materialized-path op builder: filters `trace` down to replayable data
+/// requests with resolved read-only flags (the streaming path spills the
+/// same stream through ReplayOpSink instead — see cache/replay.hpp).
 [[nodiscard]] std::vector<ReplayOp> prepare_replay(
     const trace::SortedTrace& trace, const std::set<SessionKey>& read_only);
 
@@ -262,6 +252,12 @@ class SweepRunner {
   /// Pooled runner: independent passes fan out over `pool`.
   SweepRunner(const trace::SortedTrace& trace,
               const std::set<SessionKey>& read_only, util::ThreadPool& pool);
+  /// Streaming runners: replay a spilled op file per pass instead of an
+  /// in-memory op vector.  `read_only` is borrowed and must outlive the
+  /// runner (it resolves the spilled ops' read-only flags per traversal).
+  SweepRunner(ReplayOpSpill ops, const std::set<SessionKey>& read_only);
+  SweepRunner(ReplayOpSpill ops, const std::set<SessionKey>& read_only,
+              util::ThreadPool& pool);
 
   /// Figure 8 points, one result per config, in config order.
   [[nodiscard]] std::vector<ComputeCacheResult> run_compute(
@@ -273,7 +269,7 @@ class SweepRunner {
       SweepMode mode = SweepMode::kGrouped) const;
 
   [[nodiscard]] std::size_t replay_ops() const noexcept {
-    return prepared_.size();
+    return log_.size();
   }
 
   /// Total trace passes this runner has executed across every run_compute /
@@ -288,7 +284,7 @@ class SweepRunner {
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& body) const;
 
-  std::vector<detail::ReplayOp> prepared_;
+  ReplayLog log_;
   util::ThreadPool* pool_ = nullptr;
   mutable util::Mutex mutex_;
   mutable std::size_t passes_executed_ CHARISMA_GUARDED_BY(mutex_) = 0;

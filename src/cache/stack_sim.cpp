@@ -293,7 +293,7 @@ class FifoSeqTable {
 }  // namespace
 
 std::vector<ComputeCacheResult> stack_compute_group(
-    const std::vector<ReplayOp>& ops, std::int64_t block_size,
+    const ReplayLog& ops, std::int64_t block_size,
     const std::vector<std::size_t>& buffer_counts) {
   util::check(block_size > 0, "bad block size");
   const std::size_t k = buffer_counts.size();
@@ -308,8 +308,10 @@ std::vector<ComputeCacheResult> stack_compute_group(
   JobId last_job = cfs::kNoJob;
   std::uint64_t total_reads = 0;
 
-  for (const ReplayOp& op : ops) {
-    if (!op.is_read || !op.read_only_session) continue;
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
+    if (!op.is_read || !op.read_only_session) return;
     SegmentedLruStack& stack = stacks.at(op.job, op.node);
     const auto [first, last] = span_of(op, block_size);
     // "Fully satisfied from the local buffer": every touched block present
@@ -331,7 +333,7 @@ std::vector<ComputeCacheResult> stack_compute_group(
     }
     ++(*last_buckets)[worst];
     ++total_reads;
-  }
+  });
 
   // Finalize one result per capacity.  The per-job loop mirrors
   // replay_compute_cache exactly — same job order (ordered map), same
@@ -365,7 +367,7 @@ std::vector<ComputeCacheResult> stack_compute_group(
 }
 
 std::vector<IoNodeSimResult> stack_io_group(
-    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const ReplayLog& ops, const IoNodeSimConfig& shape,
     const std::vector<std::size_t>& per_node_buffers) {
   util::check(shape.io_nodes >= 1, "need at least one I/O node");
   util::check(shape.block_size > 0, "bad block size");
@@ -387,7 +389,9 @@ std::vector<IoNodeSimResult> stack_io_group(
   std::vector<std::uint64_t> request_buckets(k + 1, 0);
   std::vector<std::uint64_t> block_buckets(k + 1, 0);
 
-  for (const ReplayOp& op : ops) {
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
     const auto [first, last] = span_of(op, shape.block_size);
 
     if (shape.compute_buffers_per_node > 0 && op.is_read &&
@@ -405,7 +409,7 @@ std::vector<IoNodeSimResult> stack_io_group(
       }
       if (full_hit) {
         ++filtered;
-        continue;  // never reaches the I/O nodes
+        return;  // never reaches the I/O nodes
       }
     }
 
@@ -425,7 +429,7 @@ std::vector<IoNodeSimResult> stack_io_group(
       worst = std::max(worst, d);
     }
     ++request_buckets[worst];
-  }
+  });
 
   std::vector<IoNodeSimResult> out(k);
   std::uint64_t request_hits = 0;
@@ -444,7 +448,7 @@ std::vector<IoNodeSimResult> stack_io_group(
 }
 
 std::vector<IoNodeSimResult> fifo_io_group(
-    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const ReplayLog& ops, const IoNodeSimConfig& shape,
     const std::vector<std::size_t>& per_node_buffers) {
   util::check(shape.io_nodes >= 1, "need at least one I/O node");
   util::check(shape.block_size > 0, "bad block size");
@@ -481,7 +485,9 @@ std::vector<IoNodeSimResult> fifo_io_group(
   std::vector<std::uint64_t> block_hits(k, 0);
   std::vector<std::uint64_t> request_hits(k, 0);
 
-  for (const ReplayOp& op : ops) {
+  // Audited: ReplayLog traversals run the lambda inline on this thread.
+  // NOLINTNEXTLINE(charisma-shared-capture)
+  ops.for_each([&](const ReplayOp& op) {
     const auto [first, last] = span_of(op, shape.block_size);
 
     if (shape.compute_buffers_per_node > 0 && op.is_read &&
@@ -499,7 +505,7 @@ std::vector<IoNodeSimResult> fifo_io_group(
       }
       if (full_hit) {
         ++filtered;
-        continue;
+        return;
       }
     }
 
@@ -525,7 +531,7 @@ std::vector<IoNodeSimResult> fifo_io_group(
     for (std::size_t c = 0; c < k; ++c) {
       if (request_mask & (1u << c)) ++request_hits[c];
     }
-  }
+  });
 
   std::vector<IoNodeSimResult> out(k);
   for (std::size_t c = 0; c < k; ++c) {

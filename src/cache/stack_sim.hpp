@@ -121,7 +121,7 @@ namespace detail {
 /// of `block_size` blocks.  Bit-identical to replay_compute_cache run once
 /// per count.
 [[nodiscard]] std::vector<ComputeCacheResult> stack_compute_group(
-    const std::vector<ReplayOp>& ops, std::int64_t block_size,
+    const ReplayLog& ops, std::int64_t block_size,
     const std::vector<std::size_t>& buffer_counts);
 
 /// Figure 9 / §4.8 in one pass: exact IoNodeSimResult for every per-node
@@ -130,7 +130,7 @@ namespace detail {
 /// setting; its policy must be kLru and its total_buffers is ignored.
 /// Bit-identical to replay_io_cache run once per count.
 [[nodiscard]] std::vector<IoNodeSimResult> stack_io_group(
-    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const ReplayLog& ops, const IoNodeSimConfig& shape,
     const std::vector<std::size_t>& per_node_buffers);
 
 /// The FIFO analogue of stack_io_group: one shared-hash pass over the op
@@ -138,7 +138,7 @@ namespace detail {
 /// `shape.policy` must be kFifo.  Bit-identical to replay_io_cache run once
 /// per count.
 [[nodiscard]] std::vector<IoNodeSimResult> fifo_io_group(
-    const std::vector<ReplayOp>& ops, const IoNodeSimConfig& shape,
+    const ReplayLog& ops, const IoNodeSimConfig& shape,
     const std::vector<std::size_t>& per_node_buffers);
 
 }  // namespace detail

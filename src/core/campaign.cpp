@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "analysis/analyzers.hpp"
 #include "cache/simulators.hpp"
@@ -83,11 +84,11 @@ std::vector<cache::IoNodeSimConfig> figure_io_configs(int io_nodes) {
 /// serial grouped SweepRunner covers each figure's whole buffer grid in one
 /// trace pass per (policy, topology) group: campaign workers already
 /// saturate the pool one study per thread, so the win here is fewer passes,
-/// not more threads.
-void append_cache_figures(analysis::FigureSet& set, const StudyOutput& output,
-                          const std::set<cache::SessionKey>& read_only) {
-  const cache::SweepRunner runner(output.sorted, read_only);
-
+/// not more threads.  The runner is mode-agnostic — the materialized path
+/// hands it an in-memory op vector, the streaming path a replay-op spill —
+/// and the two produce bit-identical curves.
+void append_cache_figures(analysis::FigureSet& set,
+                          const cache::SweepRunner& runner, int io_nodes) {
   const auto fracs = analysis::fraction_grid();
   const auto compute = runner.run_compute(figure_compute_configs());
   const auto sample_hit_rates = [&](const cache::ComputeCacheResult& r) {
@@ -100,8 +101,6 @@ void append_cache_figures(analysis::FigureSet& set, const StudyOutput& output,
   set.add("fig8_50buf", fracs, sample_hit_rates(compute[1]));
 
   const auto buffers = analysis::fig9_buffer_grid();
-  const int io_nodes =
-      output.raw.header.io_nodes > 0 ? output.raw.header.io_nodes : 10;
   const auto io = runner.run_io(figure_io_configs(io_nodes));
   std::vector<double> lru, fifo;
   lru.reserve(buffers.size());
@@ -161,8 +160,54 @@ StudySummary summarize_study(const std::string& label,
 
   if (with_figures) {
     s.figures = analysis::collect_trace_figures(
-        store, output.sorted, output.raw.header.block_size);
-    append_cache_figures(s.figures, output, store.read_only_sessions());
+        store, requests, output.raw.header.block_size);
+    const std::set<cache::SessionKey> read_only = store.read_only_sessions();
+    const cache::SweepRunner runner(output.sorted, read_only);
+    append_cache_figures(
+        s.figures, runner,
+        output.raw.header.io_nodes > 0 ? output.raw.header.io_nodes : 10);
+  }
+  return s;
+}
+
+StudySummary summarize_streamed_study(const std::string& label,
+                                      const StudyConfig& config,
+                                      StreamedStudyOutput&& output,
+                                      bool with_figures) {
+  StudySummary s;
+  s.label = label;
+  s.seed = config.workload.seed;
+  s.scale = config.workload.scale;
+  s.trace_digest = output.trace_digest;
+  s.events_dispatched = output.events_dispatched;
+  s.records = output.records;
+  s.total_ops = output.total_ops;
+  s.sim_end = output.sim_end;
+
+  // The accumulators already ran during the one streaming merge; everything
+  // below reads their finished state.  The session order is the serial
+  // builder's, so every derived statistic — and every figure byte — matches
+  // summarize_study on the materialized trace.
+  const analysis::SessionStore& store = output.sessions;
+  const auto concurrency = analysis::analyze_job_concurrency(store);
+  s.idle_fraction = concurrency.idle_fraction;
+  s.multiprogrammed_fraction = concurrency.multiprogrammed_fraction;
+  s.single_node_job_fraction =
+      analysis::analyze_node_counts(store).single_node_job_fraction;
+  s.small_read_fraction = output.request_sizes.small_read_fraction;
+  s.small_write_fraction = output.request_sizes.small_write_fraction;
+  s.temporary_fraction =
+      analysis::analyze_file_population(store).temporary_fraction;
+  s.mode0_fraction = analysis::analyze_mode_usage(store).mode0_fraction;
+
+  if (with_figures) {
+    s.figures = analysis::collect_trace_figures(store, output.request_sizes,
+                                                output.header.block_size);
+    const std::set<cache::SessionKey> read_only = store.read_only_sessions();
+    const cache::SweepRunner runner(std::move(output.replay_ops), read_only);
+    append_cache_figures(
+        s.figures, runner,
+        output.header.io_nodes > 0 ? output.header.io_nodes : 10);
   }
   return s;
 }
@@ -198,11 +243,22 @@ CampaignResult CampaignRunner::run(
   }
   const auto run_one = [&](std::size_t i) {
     const CampaignStudy& study = studies[i];
-    const StudyOutput output = run_study(study.config);
     // Distinct indices: workers never touch the same slot, and the output
     // order matches the input order whatever the schedule was.
-    result.studies[i] = summarize_study(study.label, study.config, output,
-                                        options_.collect_figures);
+    if (options_.trace_mode == TraceMode::kStreaming) {
+      StreamOptions sopts;
+      sopts.spill_dir = options_.spill_dir;
+      sopts.collect_replay_ops = options_.collect_figures;
+      StreamedStudyOutput output = run_streamed_study(study.config, sopts);
+      result.studies[i] =
+          summarize_streamed_study(study.label, study.config,
+                                   std::move(output),
+                                   options_.collect_figures);
+    } else {
+      const StudyOutput output = run_study(study.config);
+      result.studies[i] = summarize_study(study.label, study.config, output,
+                                          options_.collect_figures);
+    }
     note_study_done(studies.size());
   };
   if (options_.threads == 1) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/figures.hpp"
+#include "core/stream_study.hpp"
 #include "core/study.hpp"
 #include "util/mutex.hpp"
 #include "util/stats.hpp"
@@ -82,6 +83,13 @@ struct CampaignOptions {
   /// Worker threads; 0 picks the hardware concurrency, 1 runs the studies
   /// inline on the calling thread (no pool).
   std::size_t threads = 0;
+  /// How each study hands its trace to the summarizer.  Streaming (the
+  /// default) keeps every worker's resident state O(merge window);
+  /// materialized is the in-memory reference path.  Summaries — digests and
+  /// figure curves included — are bit-identical between the two.
+  TraceMode trace_mode = TraceMode::kStreaming;
+  /// Spill directory for streaming-mode studies (see StreamOptions).
+  std::string spill_dir{};
   /// Sample the per-figure curves for every study and fold envelope bands.
   /// Off saves the analyzer + cache-replay passes for pure-throughput runs.
   bool collect_figures = true;
@@ -101,6 +109,14 @@ struct CampaignOptions {
                                            const StudyConfig& config,
                                            const StudyOutput& output,
                                            bool with_figures = true);
+
+/// The streaming twin of summarize_study: reads the accumulators' finished
+/// state instead of re-passing a materialized trace, and consumes the
+/// output's replay-op spill for the cache figures.  Produces a bit-identical
+/// StudySummary for the same study configuration.
+[[nodiscard]] StudySummary summarize_streamed_study(
+    const std::string& label, const StudyConfig& config,
+    StreamedStudyOutput&& output, bool with_figures = true);
 
 /// Aggregates the numeric statistics across studies.
 [[nodiscard]] std::vector<AggregateStat> aggregate_campaign(

@@ -1,0 +1,90 @@
+#include "core/stream_study.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace charisma::core {
+
+std::string spill_file_path(const std::string& dir, const char* tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  if (base.back() != '/') base += '/';
+  std::ostringstream os;
+  os << base << "charisma_" << tag << "_" << ::getpid() << "_"
+     << counter.fetch_add(1, std::memory_order_relaxed) << ".spill";
+  return os.str();
+}
+
+StreamedStudyOutput run_streamed_study(const StudyConfig& config,
+                                       const StreamOptions& options) {
+  // The rig mirrors run_study exactly — same construction order, same rng
+  // derivation — so both modes drive the identical simulation.
+  sim::EngineOptions eopts;
+  eopts.queue = config.queue;
+  eopts.threads = config.engine_threads;
+  eopts.lp_count = config.machine.lp_count();
+  eopts.lookahead = net::min_message_latency(config.machine.net);
+  eopts.force_sharded = config.force_sharded_engine;
+  sim::Engine engine(eopts);
+  util::Rng machine_rng(config.workload.seed ^ 0xC10CC10CULL);
+  ipsc::Machine machine(engine, config.machine, machine_rng);
+  cfs::Runtime runtime(machine, config.runtime);
+  trace::Collector collector(machine, config.collector);
+  // The spill header is written up front, so the annotation run_study
+  // applies after the fact must be final before the first block lands.
+  collector.annotate(config.workload.seed, kStudyTraceLabel);
+  collector.start_spilling(spill_file_path(options.spill_dir, "trace"));
+
+  StreamedStudyOutput out;
+  out.workload = workload::generate(config.workload);
+  workload::Driver driver(machine, runtime, collector, out.workload);
+  driver.run();
+
+  out.jobs = driver.results();
+  out.records = collector.records_seen();
+  out.collector_messages = collector.messages_to_collector();
+  out.trace_bytes = collector.trace_bytes_written();
+  out.total_ops = driver.total_ops();
+  out.events_dispatched = engine.dispatched_events();
+  out.sim_end = engine.now();
+  out.engine_threads = config.engine_threads;
+  out.shard_stats = engine.shard_stats();
+  for (int d = 0; d < machine.io_nodes(); ++d) {
+    out.user_bytes_moved += machine.disk(d).bytes_moved();
+  }
+
+  const trace::SpilledTrace spilled = collector.take_spilled();
+  out.header = spilled.header;
+  out.trace_digest = spilled.digest();
+
+  // One merge pass feeds every consumer; per-sink state is bounded
+  // (sessions, histograms, a timeline, one op chunk), never the trace.
+  analysis::SessionAccumulator sessions(options.track_coverage);
+  analysis::RequestSizeAccumulator request_sizes;
+  analysis::IoRateAccumulator io_rate(out.header.trace_start,
+                                      out.header.trace_end);
+  std::optional<cache::ReplayOpSink> ops;
+  std::vector<trace::RecordSink*> sinks{&sessions, &request_sizes, &io_rate};
+  if (options.collect_replay_ops) {
+    ops.emplace(spill_file_path(options.spill_dir, "ops"));
+    sinks.push_back(&*ops);
+  }
+  out.streamed_records = trace::stream_postprocess(spilled, sinks);
+
+  out.sessions = sessions.take(out.header);
+  out.request_sizes = request_sizes.finish();
+  out.io_rate = io_rate.finish();
+  if (ops.has_value()) out.replay_ops = ops->finish();
+  return out;  // `spilled` unlinks the raw-trace spill here
+}
+
+}  // namespace charisma::core

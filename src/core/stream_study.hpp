@@ -1,0 +1,85 @@
+// The streaming (bounded-memory) study runner — TraceMode::kStreaming.
+//
+// Runs the identical simulation as run_study, but the collector spills raw
+// trace blocks to disk as they flush instead of accumulating a TraceFile,
+// and the postprocessing merge pushes each record — once, in corrected
+// chronological order — through bounded-state sinks: the session detector,
+// the request-size and I/O-rate accumulators, and the cache sweeps' replay-
+// op spill.  Nothing ever holds the whole trace: peak RSS is the simulation
+// itself plus the k-way merge window, independent of trace length.
+//
+// Every statistic is bit-identical to the materialized path because the
+// sinks ARE the implementation the materialized analyzers call, the merge
+// uses the same ordering key as trace::postprocess, and the spilled bytes
+// are the same encoding TraceFile::write emits (so the digest matches too —
+// the streaming differential test holds both modes to one digest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/analyzers.hpp"
+#include "analysis/iorate.hpp"
+#include "analysis/session.hpp"
+#include "cache/replay.hpp"
+#include "core/study.hpp"
+
+namespace charisma::core {
+
+struct StreamOptions {
+  /// Directory for the two spill files (raw trace blocks, replay ops).
+  /// Empty picks $TMPDIR, falling back to /tmp.
+  std::string spill_dir;
+  /// Spill the cache sweeps' replay ops during the merge.  Off skips the op
+  /// file entirely (pure-characterization runs that never simulate caches).
+  bool collect_replay_ops = true;
+  /// Forwarded to the session detector (sharing analysis needs it).
+  bool track_coverage = true;
+};
+
+/// What the streaming study keeps resident: headline counters, the
+/// accumulators' finished results, and the on-disk replay-op spill — never
+/// the trace.
+struct StreamedStudyOutput {
+  trace::TraceHeader header;
+  /// TraceFile::digest()-compatible digest of the spilled raw trace.
+  std::uint64_t trace_digest = 0;
+  /// Records pushed through the postprocessing merge (== records).
+  std::uint64_t streamed_records = 0;
+
+  analysis::SessionStore sessions;
+  analysis::RequestSizeResult request_sizes;
+  analysis::IoRateResult io_rate;
+  /// Unresolved-flag replay ops for SweepRunner; empty when
+  /// StreamOptions::collect_replay_ops was off.  Pair it with
+  /// sessions.read_only_sessions().
+  cache::ReplayOpSpill replay_ops;
+
+  std::vector<workload::JobResult> jobs;
+  workload::GeneratedWorkload workload;
+
+  // Perturbation accounting — field-for-field the StudyOutput counters.
+  std::uint64_t records = 0;
+  std::uint64_t collector_messages = 0;
+  std::int64_t trace_bytes = 0;
+  std::int64_t user_bytes_moved = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t events_dispatched = 0;
+  util::MicroSec sim_end = 0;
+  int engine_threads = 1;
+  sim::ShardStats shard_stats;
+};
+
+/// Runs the full study in streaming mode.  Deterministic in `config`; the
+/// spill files are private, uniquely named, and deleted before returning
+/// (except the replay-op spill, which the output owns).
+[[nodiscard]] StreamedStudyOutput run_streamed_study(
+    const StudyConfig& config, const StreamOptions& options = {});
+
+/// Unique spill-file path in `dir` (or the temp directory when empty):
+/// pid + process-wide counter, so concurrent campaign workers and
+/// concurrent CI processes never collide.
+[[nodiscard]] std::string spill_file_path(const std::string& dir,
+                                          const char* tag);
+
+}  // namespace charisma::core

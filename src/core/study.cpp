@@ -1,6 +1,16 @@
 #include "core/study.hpp"
 
+#include "util/check.hpp"
+
 namespace charisma::core {
+
+TraceMode parse_trace_mode(const std::string& name) {
+  if (name == "streaming") return TraceMode::kStreaming;
+  if (name == "materialized") return TraceMode::kMaterialized;
+  CHECK(false, "trace mode must be 'streaming' or 'materialized', got '",
+        name, "'");
+  return TraceMode::kStreaming;
+}
 
 StudyOutput run_study(const StudyConfig& config) {
   sim::EngineOptions eopts;
@@ -38,7 +48,7 @@ StudyOutput run_study(const StudyConfig& config) {
   }
   out.raw = collector.take_trace();
   out.raw.header.seed = config.workload.seed;
-  out.raw.header.label = "charisma synthetic NAS workload";
+  out.raw.header.label = kStudyTraceLabel;
   out.sorted = trace::postprocess(out.raw);
   return out;
 }

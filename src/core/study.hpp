@@ -21,6 +21,37 @@
 
 namespace charisma::core {
 
+/// The label every study stamps into its trace header.  Shared between the
+/// materialized and streaming runners: the spill header is written up front,
+/// so the label must be identical (and final) in both modes for the trace
+/// digests to match.
+inline constexpr const char* kStudyTraceLabel =
+    "charisma synthetic NAS workload";
+
+/// How the pipeline hands the trace to its consumers.
+enum class TraceMode : std::uint8_t {
+  /// Default: spill raw trace blocks to disk during the run, merge them once
+  /// in postprocessed order, and push every record through bounded-state
+  /// sinks (sessions, request sizes, I/O rate, replay ops).  Peak RSS is
+  /// O(merge window), not O(trace length).
+  kStreaming,
+  /// Reference: materialize the whole trace in memory (TraceFile +
+  /// SortedTrace) and run each consumer as its own pass.  Kept for
+  /// differential testing and ad-hoc exploration of the record vector.
+  kMaterialized,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceMode m) noexcept {
+  switch (m) {
+    case TraceMode::kStreaming: return "streaming";
+    case TraceMode::kMaterialized: return "materialized";
+  }
+  return "?";
+}
+
+/// "streaming" | "materialized" -> TraceMode; CHECK-fails on anything else.
+[[nodiscard]] TraceMode parse_trace_mode(const std::string& name);
+
 struct StudyConfig {
   workload::WorkloadConfig workload = workload::WorkloadConfig::nas_1993();
   ipsc::MachineConfig machine = ipsc::MachineConfig::nas_ames();

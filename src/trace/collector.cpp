@@ -19,6 +19,29 @@ Collector::Collector(ipsc::Machine& machine, CollectorParams params)
   }
 }
 
+void Collector::annotate(std::uint64_t seed, std::string label) {
+  CHECK(writer_ == nullptr,
+        "Collector::annotate after start_spilling: the spill header is "
+        "already on disk");
+  trace_.header.seed = seed;
+  trace_.header.label = std::move(label);
+}
+
+void Collector::start_spilling(const std::string& path) {
+  CHECK(writer_ == nullptr, "Collector::start_spilling called twice");
+  CHECK(trace_.blocks.empty() && records_seen_ == 0,
+        "Collector::start_spilling after records were collected");
+  writer_ = std::make_unique<SpillWriter>(path, trace_.header);
+}
+
+void Collector::commit_block(TraceBlock&& block) {
+  if (writer_ != nullptr) {
+    writer_->append(block);
+  } else {
+    trace_.blocks.push_back(std::move(block));
+  }
+}
+
 void Collector::append(Record record) {
   CHECK(record.node >= 0 && record.node < machine_->compute_nodes(),
         "record from unknown node ", record.node, " (machine has ",
@@ -51,7 +74,7 @@ void Collector::append_job_event(Record record) {
   block.sent_local = record.timestamp;
   block.recv_global = record.timestamp;
   block.records.push_back(record);
-  trace_.blocks.push_back(std::move(block));
+  commit_block(std::move(block));
   ++records_seen_;
 }
 
@@ -67,7 +90,7 @@ void Collector::flush_node(NodeId node) {
   block.recv_global = now + machine_->compute_to_service(node, payload);
   block.records = std::move(buf.records);
   buf.records.clear();
-  trace_.blocks.push_back(std::move(block));
+  commit_block(std::move(block));
   ++messages_;
 
   // Collector-side staging: model its own (untraced) CFS output.
@@ -89,6 +112,8 @@ void Collector::flush_all() {
 }
 
 TraceFile Collector::take_trace() {
+  CHECK(writer_ == nullptr,
+        "take_trace on a spilling collector: use take_spilled");
   flush_all();
   trace_.header.trace_end = machine_->engine().now();
   TraceFile out = std::move(trace_);
@@ -96,6 +121,15 @@ TraceFile Collector::take_trace() {
   trace_.header = out.header;
   trace_.header.trace_start = machine_->engine().now();
   trace_.blocks.clear();
+  return out;
+}
+
+SpilledTrace Collector::take_spilled() {
+  CHECK(writer_ != nullptr, "take_spilled without start_spilling");
+  flush_all();
+  SpilledTrace out = writer_->finish(machine_->engine().now());
+  writer_.reset();
+  trace_.header.trace_start = machine_->engine().now();
   return out;
 }
 

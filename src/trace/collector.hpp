@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "ipsc/machine.hpp"
+#include "trace/spill.hpp"
 #include "trace/trace_file.hpp"
 
 namespace charisma::trace {
@@ -31,6 +34,17 @@ class Collector {
  public:
   Collector(ipsc::Machine& machine, CollectorParams params = {});
 
+  /// Sets the header's seed and label.  Must run before start_spilling():
+  /// the spill writer fixes the header bytes (and the label's patch offsets)
+  /// up front.  The materialized path may call it any time before take_trace.
+  void annotate(std::uint64_t seed, std::string label);
+
+  /// Switches to bounded-memory spilling: every flushed block goes straight
+  /// to `path` in TraceFile's on-disk format and is dropped from memory.
+  /// Must be called before any record arrives; finish with take_spilled().
+  void start_spilling(const std::string& path);
+  [[nodiscard]] bool spilling() const noexcept { return writer_ != nullptr; }
+
   /// Appends one event record generated on `record.node` at the current
   /// engine time.  Timestamps the record with the node's local clock.
   void append(Record record);
@@ -40,7 +54,12 @@ class Collector {
   void flush_all();
 
   /// Finishes the trace and moves it out. The collector is empty afterwards.
+  /// Only valid on the materialized path (no start_spilling).
   [[nodiscard]] TraceFile take_trace();
+
+  /// Finishes a spilled trace: flushes, patches the header, and returns the
+  /// on-disk trace's index.  Only valid after start_spilling().
+  [[nodiscard]] SpilledTrace take_spilled();
 
   // --- Perturbation accounting (paper §3.1, ablation C) ---------------
   [[nodiscard]] std::uint64_t records_seen() const noexcept {
@@ -70,12 +89,15 @@ class Collector {
     return records_per_buffer_;
   }
   void flush_node(NodeId node);
+  /// Routes one finished block to the spill writer or the in-memory trace.
+  void commit_block(TraceBlock&& block);
 
   ipsc::Machine* machine_;
   CollectorParams params_;
   std::size_t records_per_buffer_ = 1;  // derived from params_ once
   std::vector<NodeBuffer> buffers_;  // per compute node
   TraceFile trace_;
+  std::unique_ptr<SpillWriter> writer_;
   std::int64_t staged_bytes_ = 0;
   std::uint64_t records_seen_ = 0;
   std::uint64_t messages_ = 0;

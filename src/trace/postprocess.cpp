@@ -15,15 +15,21 @@ MicroSec ClockFit::apply(MicroSec local) const noexcept {
       std::llround(scale * static_cast<double>(local) + offset));
 }
 
-std::unordered_map<NodeId, ClockFit> fit_clocks(const TraceFile& trace) {
-  struct Acc {
-    double sum_l = 0, sum_g = 0, sum_ll = 0, sum_lg = 0;
-    std::size_t n = 0;
-  };
+namespace {
+
+struct FitAcc {
+  double sum_l = 0, sum_g = 0, sum_ll = 0, sum_lg = 0;
+  std::size_t n = 0;
+};
+
+// Shared by both fit_clocks overloads: TraceBlock and SpillBlock expose the
+// same stamp fields, which are all the least-squares fit consumes.
+template <typename Blocks>
+std::unordered_map<NodeId, ClockFit> fit_clocks_from(const Blocks& blocks) {
   // Ordered map: the fitting loop below iterates, and iteration order must
   // not depend on hash layout (charisma-unordered-iter).
-  std::map<NodeId, Acc> accs;
-  for (const auto& b : trace.blocks) {
+  std::map<NodeId, FitAcc> accs;
+  for (const auto& b : blocks) {
     auto& a = accs[b.node];
     const auto l = static_cast<double>(b.sent_local);
     const auto g = static_cast<double>(b.recv_global);
@@ -52,6 +58,16 @@ std::unordered_map<NodeId, ClockFit> fit_clocks(const TraceFile& trace) {
     fits.emplace(node, fit);
   }
   return fits;
+}
+
+}  // namespace
+
+std::unordered_map<NodeId, ClockFit> fit_clocks(const TraceFile& trace) {
+  return fit_clocks_from(trace.blocks);
+}
+
+std::unordered_map<NodeId, ClockFit> fit_clocks(const SpilledTrace& trace) {
+  return fit_clocks_from(trace.blocks);
 }
 
 SortedTrace postprocess(const TraceFile& trace) {
@@ -131,6 +147,89 @@ SortedTrace postprocess(const TraceFile& trace) {
     }
   }
   return out;
+}
+
+std::uint64_t stream_postprocess(const SpilledTrace& trace,
+                                 const std::vector<RecordSink*>& sinks) {
+  const auto fits = fit_clocks(trace);
+
+  // Same merge as postprocess(), same key — (corrected time, position in
+  // the concatenated block stream) — but each cursor holds only its current
+  // block's decoded records, read back from the spill file on demand, so the
+  // resident set is one block per node regardless of trace length.
+  struct Cursor {
+    // (block index into trace.blocks, concatenated offset of its first
+    // record), in flush order.
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;
+    std::size_t bi = 0;  // current block
+    std::size_t ri = 0;  // next record within it
+    const ClockFit* fit = nullptr;
+    std::vector<Record> buf;  // current block's records
+  };
+  // Ordered map: heap seeding below iterates (charisma-unordered-iter).
+  std::map<NodeId, Cursor> cursors;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+    const SpillBlock& b = trace.blocks[i];
+    if (b.count > 0) cursors[b.node].blocks.emplace_back(i, offset);
+    offset += b.count;
+  }
+
+  std::ifstream in = trace.open_payload();
+  const auto load_current = [&](Cursor& c) {
+    trace.read_block(c.blocks[c.bi].first, in, c.buf);
+  };
+
+  struct Head {
+    MicroSec ts = 0;       // corrected timestamp of the cursor's record
+    std::size_t idx = 0;   // its concatenated position (stability key)
+    Cursor* cur = nullptr;
+  };
+  const auto later = [](const Head& a, const Head& b) noexcept {
+    return a.ts != b.ts ? a.ts > b.ts : a.idx > b.idx;
+  };
+  const auto head_of = [](Cursor& c) noexcept {
+    const Record& r = c.buf[c.ri];
+    const MicroSec ts =
+        c.fit != nullptr ? c.fit->apply(r.timestamp) : r.timestamp;
+    return Head{ts, c.blocks[c.bi].second + c.ri, &c};
+  };
+
+  std::vector<Head> heap;
+  heap.reserve(cursors.size());
+  for (auto& [node, c] : cursors) {
+    const auto it = fits.find(node);
+    c.fit = it == fits.end() ? nullptr : &it->second;
+    load_current(c);
+    heap.push_back(head_of(c));
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  std::uint64_t pushed = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Head h = heap.back();
+    heap.pop_back();
+    Cursor& c = *h.cur;
+    Record r = c.buf[c.ri];
+    r.timestamp = h.ts;
+    for (RecordSink* sink : sinks) sink->on_record(r);
+    ++pushed;
+    if (++c.ri == c.buf.size()) {
+      c.ri = 0;
+      ++c.bi;
+      if (c.bi < c.blocks.size()) load_current(c);
+    }
+    if (c.bi < c.blocks.size()) {
+      const Head next = head_of(c);
+      DCHECK(next.ts >= h.ts,
+             "a node produced non-monotone corrected times: ", next.ts,
+             " after ", h.ts);
+      heap.push_back(next);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  return pushed;
 }
 
 std::uint64_t count_order_inversions(

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/spill.hpp"
 #include "trace/trace_file.hpp"
 
 namespace charisma::trace {
@@ -30,6 +31,10 @@ struct ClockFit {
 /// Fits one ClockFit per node from the blocks' double timestamps.
 [[nodiscard]] std::unordered_map<NodeId, ClockFit> fit_clocks(
     const TraceFile& trace);
+/// Same fit from a spilled trace's block index — the stamps are all the fit
+/// needs, so no record payload is read.
+[[nodiscard]] std::unordered_map<NodeId, ClockFit> fit_clocks(
+    const SpilledTrace& trace);
 
 /// A postprocessed trace: records with corrected timestamps in
 /// chronological order (stable within equal timestamps).
@@ -42,6 +47,15 @@ struct SortedTrace {
 
 /// Full pipeline: fit clocks, correct every record, stable-sort.
 [[nodiscard]] SortedTrace postprocess(const TraceFile& trace);
+
+/// Streaming pipeline (ROADMAP item 3): the same stable k-way merge, but
+/// reading one block per node-cursor from the spilled trace and pushing each
+/// corrected record to every sink instead of materializing the sorted
+/// vector.  Record order and timestamps are bit-identical to postprocess()
+/// on the materialized equivalent; peak memory is one in-flight block per
+/// node plus the sinks' own bounded state.  Returns the record count pushed.
+std::uint64_t stream_postprocess(const SpilledTrace& trace,
+                                 const std::vector<RecordSink*>& sinks);
 
 /// Counts adjacent-pair inversions of `reference_order` (a permutation of
 /// record indices in true order) within `t` — the postprocessing quality

@@ -1,0 +1,275 @@
+#include "trace/spill.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace charisma::trace {
+
+namespace {
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T take(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("trace file truncated");
+  return v;
+}
+
+inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+inline void fnv1a_value(std::uint64_t& h, T v) noexcept {
+  fnv1a(h, &v, sizeof v);
+}
+
+}  // namespace
+
+// --- SpilledTrace ---------------------------------------------------------
+
+SpilledTrace::SpilledTrace(SpilledTrace&& other) noexcept
+    : header(std::move(other.header)),
+      blocks(std::move(other.blocks)),
+      path_(std::move(other.path_)),
+      owns_file_(std::exchange(other.owns_file_, false)) {
+  other.path_.clear();
+}
+
+SpilledTrace& SpilledTrace::operator=(SpilledTrace&& other) noexcept {
+  if (this != &other) {
+    remove_backing_file();
+    header = std::move(other.header);
+    blocks = std::move(other.blocks);
+    path_ = std::move(other.path_);
+    owns_file_ = std::exchange(other.owns_file_, false);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+SpilledTrace::~SpilledTrace() { remove_backing_file(); }
+
+void SpilledTrace::remove_backing_file() noexcept {
+  if (owns_file_ && !path_.empty()) std::remove(path_.c_str());
+  owns_file_ = false;
+}
+
+std::uint64_t SpilledTrace::record_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks) n += b.count;
+  return n;
+}
+
+std::uint64_t SpilledTrace::digest() const {
+  // Same fold, same order as TraceFile::digest(): header fields, then per
+  // block the stamps, the count, and the records' encoded bytes — which are
+  // exactly the payload bytes on disk, so they are folded straight from the
+  // file without decoding.
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  fnv1a_value(h, header.compute_nodes);
+  fnv1a_value(h, header.io_nodes);
+  fnv1a_value(h, header.block_size);
+  fnv1a_value(h, header.seed);
+  fnv1a_value(h, header.trace_start);
+  fnv1a_value(h, header.trace_end);
+  fnv1a(h, header.label.data(), header.label.size());
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open spilled trace: " + path_);
+  std::vector<std::uint8_t> buf;
+  for (const auto& b : blocks) {
+    fnv1a_value(h, b.node);
+    fnv1a_value(h, b.sent_local);
+    fnv1a_value(h, b.recv_global);
+    fnv1a_value(h, b.count);
+    buf.resize(static_cast<std::size_t>(b.count) * Record::kEncodedSize);
+    in.seekg(b.payload_offset);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!in) throw std::runtime_error("spilled trace truncated: " + path_);
+    fnv1a(h, buf.data(), buf.size());
+  }
+  return h;
+}
+
+void SpilledTrace::read_block(std::size_t index, std::ifstream& in,
+                              std::vector<Record>& out) const {
+  CHECK(index < blocks.size(), "spill block ", index, " out of range (",
+        blocks.size(), " blocks)");
+  const SpillBlock& b = blocks[index];
+  out.clear();
+  out.reserve(b.count);
+  std::uint8_t buf[Record::kEncodedSize];
+  in.seekg(b.payload_offset);
+  for (std::uint32_t i = 0; i < b.count; ++i) {
+    in.read(reinterpret_cast<char*>(buf), sizeof buf);
+    if (!in) {
+      throw std::runtime_error("spilled trace truncated: " + path_);
+    }
+    out.push_back(Record::decode(buf));
+  }
+}
+
+std::ifstream SpilledTrace::open_payload() const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open spilled trace: " + path_);
+  return in;
+}
+
+SpilledTrace SpilledTrace::open(const std::string& path, bool tolerant,
+                                bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  in.seekg(0);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, TraceFile::kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("not a CHARISMA trace: " + path);
+  }
+  if (take<std::uint32_t>(in) != TraceFile::kVersion) {
+    throw std::runtime_error("unsupported trace version");
+  }
+  SpilledTrace t;
+  t.path_ = path;
+  t.header.compute_nodes = take<std::int32_t>(in);
+  t.header.io_nodes = take<std::int32_t>(in);
+  t.header.block_size = take<std::int64_t>(in);
+  t.header.seed = take<std::uint64_t>(in);
+  t.header.trace_start = take<std::int64_t>(in);
+  t.header.trace_end = take<std::int64_t>(in);
+  {
+    const auto n = take<std::uint32_t>(in);
+    if (n > (1u << 20)) throw std::runtime_error("trace label too long");
+    t.header.label.assign(n, '\0');
+    in.read(t.header.label.data(), n);
+    if (!in) throw std::runtime_error("trace file truncated");
+  }
+
+  const auto nblocks = take<std::uint64_t>(in);
+  const std::uint64_t max_plausible_blocks =
+      static_cast<std::uint64_t>(file_size) / 24 + 1;
+  t.blocks.reserve(
+      std::min(tolerant ? max_plausible_blocks : nblocks,
+               max_plausible_blocks));
+  // Tolerant mode scans frames to end-of-file rather than trusting the
+  // declared count: a crash while spilling leaves the count placeholder at
+  // zero even though complete blocks sit on disk, and the tolerant-reader
+  // contract says those survive.  Strict mode requires the declared count.
+  std::uint64_t scanned = 0;
+  while (tolerant ? true : scanned < nblocks) {
+    SpillBlock b;
+    try {
+      if (tolerant) {
+        // Probe for end-of-data before committing to a frame.
+        if (static_cast<std::int64_t>(in.tellg()) >= file_size) break;
+      }
+      b.node = take<std::int32_t>(in);
+      b.sent_local = take<std::int64_t>(in);
+      b.recv_global = take<std::int64_t>(in);
+      b.count = take<std::uint32_t>(in);
+      b.payload_offset = static_cast<std::int64_t>(in.tellg());
+      if (b.payload_offset < 0 ||
+          static_cast<std::int64_t>(b.count) >
+              (file_size - b.payload_offset) /
+                  static_cast<std::int64_t>(Record::kEncodedSize)) {
+        throw std::runtime_error("trace file truncated");
+      }
+      in.seekg(b.payload_offset +
+               static_cast<std::int64_t>(b.count) *
+                   static_cast<std::int64_t>(Record::kEncodedSize));
+    } catch (const std::runtime_error&) {
+      if (!tolerant) throw;
+      if (truncated != nullptr) *truncated = true;
+      return t;  // keep every complete block before the crash point
+    }
+    t.blocks.push_back(b);
+    ++scanned;
+  }
+  if (tolerant && truncated != nullptr && scanned != nblocks) {
+    *truncated = true;  // count was never patched or overstated
+  }
+  return t;
+}
+
+// --- SpillWriter ----------------------------------------------------------
+
+SpillWriter::SpillWriter(std::string path, const TraceHeader& header)
+    : path_(std::move(path)), header_(header) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot open spill file: " + path_);
+  out_.write(TraceFile::kMagic, sizeof TraceFile::kMagic);
+  put<std::uint32_t>(out_, TraceFile::kVersion);
+  put<std::int32_t>(out_, header_.compute_nodes);
+  put<std::int32_t>(out_, header_.io_nodes);
+  put<std::int64_t>(out_, header_.block_size);
+  put<std::uint64_t>(out_, header_.seed);
+  put<std::int64_t>(out_, header_.trace_start);
+  trace_end_offset_ = static_cast<std::int64_t>(out_.tellp());
+  put<std::int64_t>(out_, 0);  // trace_end: patched by finish()
+  put<std::uint32_t>(out_, static_cast<std::uint32_t>(header_.label.size()));
+  out_.write(header_.label.data(),
+             static_cast<std::streamsize>(header_.label.size()));
+  block_count_offset_ = static_cast<std::int64_t>(out_.tellp());
+  put<std::uint64_t>(out_, 0);  // block count: patched by finish()
+  if (!out_) throw std::runtime_error("spill write failed: " + path_);
+}
+
+void SpillWriter::append(const TraceBlock& block) {
+  CHECK(!finished_, "SpillWriter::append after finish");
+  put<std::int32_t>(out_, block.node);
+  put<std::int64_t>(out_, block.sent_local);
+  put<std::int64_t>(out_, block.recv_global);
+  put<std::uint32_t>(out_, static_cast<std::uint32_t>(block.records.size()));
+  SpillBlock idx;
+  idx.node = block.node;
+  idx.sent_local = block.sent_local;
+  idx.recv_global = block.recv_global;
+  idx.count = static_cast<std::uint32_t>(block.records.size());
+  idx.payload_offset = static_cast<std::int64_t>(out_.tellp());
+  encode_buf_.resize(block.records.size() * Record::kEncodedSize);
+  std::uint8_t* p = encode_buf_.data();
+  for (const auto& r : block.records) {
+    r.encode(p);
+    p += Record::kEncodedSize;
+  }
+  out_.write(reinterpret_cast<const char*>(encode_buf_.data()),
+             static_cast<std::streamsize>(encode_buf_.size()));
+  if (!out_) throw std::runtime_error("spill write failed: " + path_);
+  index_.push_back(idx);
+}
+
+SpilledTrace SpillWriter::finish(MicroSec trace_end) {
+  CHECK(!finished_, "SpillWriter::finish called twice");
+  finished_ = true;
+  out_.seekp(trace_end_offset_);
+  put<std::int64_t>(out_, trace_end);
+  out_.seekp(block_count_offset_);
+  put<std::uint64_t>(out_, static_cast<std::uint64_t>(index_.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error("spill write failed: " + path_);
+  out_.close();
+  SpilledTrace t;
+  t.header = header_;
+  t.header.trace_end = trace_end;
+  t.blocks = std::move(index_);
+  t.path_ = path_;
+  t.owns_file_ = true;
+  return t;
+}
+
+}  // namespace charisma::trace

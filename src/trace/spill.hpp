@@ -1,0 +1,120 @@
+// Bounded-memory trace spilling (ROADMAP item 3).
+//
+// A spilled trace is an ordinary CHARISMA trace file written *incrementally*:
+// the collector appends each flushed block to disk as it arrives and only the
+// header plus a per-block stamp index stay resident.  Because the on-disk
+// layout is exactly `TraceFile::write`'s, every existing reader — including
+// the tolerant crash-recovery path — works on a spill file unchanged, and the
+// streaming digest below is bit-identical to `TraceFile::digest()` on the
+// materialized equivalent.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.hpp"
+
+namespace charisma::trace {
+
+/// Push-based consumer of the postprocessed (clock-corrected, merged) record
+/// stream.  Sinks hold bounded per-file/per-job state, never the full trace.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_record(const Record& record) = 0;
+};
+
+/// One block's stamps and payload location; the in-memory index entry for a
+/// block whose records live on disk.  24 bytes of stamps + a 12-byte locator
+/// per block instead of the records themselves.
+struct SpillBlock {
+  NodeId node = 0;
+  MicroSec sent_local = 0;   // node clock when the buffer was sent
+  MicroSec recv_global = 0;  // collector clock when it arrived
+  std::uint32_t count = 0;   // records in this block
+  std::int64_t payload_offset = 0;  // file offset of the first record's bytes
+};
+
+/// A trace resident on disk: header and block index in memory, record
+/// payloads read back one block at a time.
+class SpilledTrace {
+ public:
+  TraceHeader header;
+  std::vector<SpillBlock> blocks;
+
+  SpilledTrace() = default;
+  SpilledTrace(SpilledTrace&& other) noexcept;
+  SpilledTrace& operator=(SpilledTrace&& other) noexcept;
+  SpilledTrace(const SpilledTrace&) = delete;
+  SpilledTrace& operator=(const SpilledTrace&) = delete;
+  ~SpilledTrace();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t record_count() const noexcept;
+
+  /// Streams the backing file once (sequentially, one block's payload at a
+  /// time).  Bit-identical to `TraceFile::digest()` on the same trace.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Decodes block `index`'s records into `out` (cleared first) using the
+  /// caller's open stream — callers reuse both across blocks so the merge
+  /// holds one block per node, not the trace.
+  void read_block(std::size_t index, std::ifstream& in,
+                  std::vector<Record>& out) const;
+
+  /// Opens `path` for streaming (seekable stream positioned by read_block).
+  [[nodiscard]] std::ifstream open_payload() const;
+
+  /// Indexes an existing trace/spill file without loading record payloads.
+  /// Tolerant mode honours the tolerant-reader contract: it scans block
+  /// frames to end-of-file (so a crash-truncated final block — or a spill
+  /// whose header count was never patched — loses only the cut block) and
+  /// reports via `truncated` instead of throwing.
+  [[nodiscard]] static SpilledTrace open(const std::string& path,
+                                         bool tolerant = false,
+                                         bool* truncated = nullptr);
+
+  /// Deletes the backing file now (also done by ~SpilledTrace when owned).
+  void remove_backing_file() noexcept;
+
+ private:
+  friend class SpillWriter;
+  std::string path_;
+  bool owns_file_ = false;  // temp spill: unlink on destruction
+};
+
+/// Incremental writer producing `TraceFile::write`-format bytes.  The header
+/// (minus trace_end) must be final at construction — its bytes, and the label
+/// in particular, fix the patch offsets; trace_end and the block count are
+/// back-patched by finish().
+class SpillWriter {
+ public:
+  /// Creates/truncates `path` and writes the header with placeholder
+  /// trace_end/block-count fields.  Throws std::runtime_error on I/O failure.
+  SpillWriter(std::string path, const TraceHeader& header);
+
+  /// Appends one block's frame; called in collector flush order.
+  void append(const TraceBlock& block);
+
+  /// Patches trace_end and the block count, closes the file, and returns the
+  /// index as an owning SpilledTrace (the file is deleted with it).
+  [[nodiscard]] SpilledTrace finish(MicroSec trace_end);
+
+  [[nodiscard]] std::uint64_t blocks_written() const noexcept {
+    return static_cast<std::uint64_t>(index_.size());
+  }
+
+ private:
+  std::string path_;
+  TraceHeader header_;
+  std::ofstream out_;
+  std::vector<SpillBlock> index_;
+  std::int64_t trace_end_offset_ = 0;
+  std::int64_t block_count_offset_ = 0;
+  std::vector<std::uint8_t> encode_buf_;
+  bool finished_ = false;
+};
+
+}  // namespace charisma::trace

@@ -118,7 +118,7 @@ TEST(FifoGroup, MatchesBlockCacheOnARandomStream) {
     ops.push_back(op);
   }
 
-  const auto grouped = detail::fifo_io_group(ops, shape, per_node);
+  const auto grouped = detail::fifo_io_group(ReplayLog(ops), shape, per_node);
   std::vector<BlockCache> caches;
   for (const std::size_t c : per_node) caches.emplace_back(c, Policy::kFifo);
   std::vector<std::uint64_t> hits(per_node.size(), 0);

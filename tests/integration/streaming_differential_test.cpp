@@ -1,0 +1,216 @@
+// Differential: TraceMode::kStreaming must be *bit-identical* to the
+// materialized reference path — same digest, same statistics, same figure
+// curves, same exported TSV bytes — at the pinned scale-0.2/seed-42
+// configuration and on a degenerate zero-record trace.  The streaming mode
+// is the default, so any drift here is a correctness bug, not a perf note.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzers.hpp"
+#include "analysis/iorate.hpp"
+#include "analysis/session.hpp"
+#include "core/campaign.hpp"
+#include "core/export.hpp"
+#include "core/stream_study.hpp"
+#include "core/study.hpp"
+#include "trace/postprocess.hpp"
+#include "trace/spill.hpp"
+
+namespace charisma {
+namespace {
+
+// The determinism anchor every PR re-verifies (ROADMAP).
+constexpr std::uint64_t kExpectedDigest = 0x5d6c862d0a86afe1ull;
+
+struct Fixture {
+  core::StudyConfig config;
+  core::StudyOutput mat;
+  core::StudySummary mat_summary;
+
+  trace::TraceHeader str_header;
+  std::uint64_t str_digest = 0;
+  std::uint64_t str_records = 0;
+  analysis::IoRateResult str_io_rate;
+  core::StudySummary str_summary;
+
+  Fixture() {
+    config.workload.scale = 0.2;
+    config.workload.seed = 42;
+    core::StreamedStudyOutput s = core::run_streamed_study(config);
+    str_header = s.header;
+    str_digest = s.trace_digest;
+    str_records = s.streamed_records;
+    str_io_rate = s.io_rate;
+    str_summary = core::summarize_streamed_study("scale0.2_seed42", config,
+                                                 std::move(s));
+    mat = core::run_study(config);
+    mat_summary = core::summarize_study("scale0.2_seed42", config, mat);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(StreamingDifferential, DigestsMatchAndArePinned) {
+  EXPECT_EQ(fixture().str_digest, kExpectedDigest);
+  EXPECT_EQ(fixture().mat.raw.digest(), kExpectedDigest);
+  EXPECT_EQ(fixture().str_summary.trace_digest,
+            fixture().mat_summary.trace_digest);
+}
+
+TEST(StreamingDifferential, HeadersAndCountsMatch) {
+  const auto& f = fixture();
+  EXPECT_EQ(f.str_header.label, f.mat.raw.header.label);
+  EXPECT_EQ(f.str_header.trace_start, f.mat.raw.header.trace_start);
+  EXPECT_EQ(f.str_header.trace_end, f.mat.raw.header.trace_end);
+  EXPECT_EQ(f.str_header.seed, f.mat.raw.header.seed);
+  EXPECT_EQ(f.str_records, f.mat.sorted.records.size());
+  EXPECT_EQ(f.str_summary.records, f.mat_summary.records);
+  EXPECT_EQ(f.str_summary.events_dispatched, f.mat_summary.events_dispatched);
+  EXPECT_EQ(f.str_summary.total_ops, f.mat_summary.total_ops);
+  EXPECT_EQ(f.str_summary.sim_end, f.mat_summary.sim_end);
+}
+
+TEST(StreamingDifferential, MeasuredStatisticsExactlyEqual) {
+  const auto& a = fixture().str_summary;
+  const auto& b = fixture().mat_summary;
+  // Exact (not approximate) equality: the accumulators ARE the
+  // implementation the materialized analyzers call, so the doubles must be
+  // bitwise identical, not merely close.
+  EXPECT_EQ(a.idle_fraction, b.idle_fraction);
+  EXPECT_EQ(a.multiprogrammed_fraction, b.multiprogrammed_fraction);
+  EXPECT_EQ(a.single_node_job_fraction, b.single_node_job_fraction);
+  EXPECT_EQ(a.small_read_fraction, b.small_read_fraction);
+  EXPECT_EQ(a.small_write_fraction, b.small_write_fraction);
+  EXPECT_EQ(a.temporary_fraction, b.temporary_fraction);
+  EXPECT_EQ(a.mode0_fraction, b.mode0_fraction);
+}
+
+TEST(StreamingDifferential, FigureCurvesExactlyEqual) {
+  const auto& a = fixture().str_summary.figures;
+  const auto& b = fixture().mat_summary.figures;
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  ASSERT_FALSE(a.curves.empty());
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    SCOPED_TRACE(a.curves[i].name);
+    EXPECT_EQ(a.curves[i].name, b.curves[i].name);
+    EXPECT_EQ(a.curves[i].xs, b.curves[i].xs);
+    EXPECT_EQ(a.curves[i].ys, b.curves[i].ys);
+  }
+}
+
+TEST(StreamingDifferential, IoRateTimelineExactlyEqual) {
+  const analysis::IoRateResult mat_rate =
+      analysis::analyze_io_rate(fixture().mat.sorted);
+  const analysis::IoRateResult& str_rate = fixture().str_io_rate;
+  ASSERT_EQ(str_rate.timeline.size(), mat_rate.timeline.size());
+  for (std::size_t i = 0; i < mat_rate.timeline.size(); ++i) {
+    EXPECT_EQ(str_rate.timeline[i].start, mat_rate.timeline[i].start);
+    EXPECT_EQ(str_rate.timeline[i].bytes_read, mat_rate.timeline[i].bytes_read);
+    EXPECT_EQ(str_rate.timeline[i].bytes_written,
+              mat_rate.timeline[i].bytes_written);
+    EXPECT_EQ(str_rate.timeline[i].requests, mat_rate.timeline[i].requests);
+  }
+  EXPECT_EQ(str_rate.mean_mb_per_s, mat_rate.mean_mb_per_s);
+  EXPECT_EQ(str_rate.peak_mb_per_s, mat_rate.peak_mb_per_s);
+  EXPECT_EQ(str_rate.quiet_fraction, mat_rate.quiet_fraction);
+}
+
+TEST(StreamingDifferential, ExportedCampaignTsvsByteIdentical) {
+  namespace fs = std::filesystem;
+  const auto make_result = [](const core::StudySummary& s) {
+    core::CampaignResult r;
+    r.studies = {s};
+    r.aggregates = core::aggregate_campaign(r.studies);
+    r.figure_envelopes = core::fold_figure_envelopes(r.studies);
+    return r;
+  };
+  const std::string base = ::testing::TempDir();
+  const std::string dir_str = base + "charisma_diff_str";
+  const std::string dir_mat = base + "charisma_diff_mat";
+  fs::create_directories(dir_str);
+  fs::create_directories(dir_mat);
+  (void)core::export_campaign(make_result(fixture().str_summary), dir_str);
+  (void)core::export_campaign(make_result(fixture().mat_summary), dir_mat);
+
+  std::set<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir_str)) {
+    names.insert(e.path().filename().string());
+  }
+  ASSERT_GT(names.size(), 10u);  // studies + aggregate + per-figure TSVs
+  const auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(fs::exists(fs::path(dir_mat) / name));
+    EXPECT_EQ(slurp(fs::path(dir_str) / name), slurp(fs::path(dir_mat) / name));
+  }
+  fs::remove_all(dir_str);
+  fs::remove_all(dir_mat);
+}
+
+// A trace with no records at all must flow through both pipelines without
+// dividing by zero or diverging: empty store, empty histograms, equal
+// (empty) everything.
+TEST(StreamingDifferential, ZeroRecordTraceBothModes) {
+  trace::TraceFile empty;
+  empty.header.compute_nodes = 4;
+  empty.header.io_nodes = 2;
+  empty.header.trace_start = 0;
+  empty.header.trace_end = 0;
+  empty.header.label = "degenerate";
+
+  // Materialized path.
+  const trace::SortedTrace sorted = trace::postprocess(empty);
+  const analysis::SessionStore mat_store(sorted);
+  const analysis::RequestSizeResult mat_req =
+      analysis::analyze_request_sizes(sorted);
+
+  // Streaming path, through a finished zero-block spill.
+  const std::string path = ::testing::TempDir() + "charisma_empty.spill";
+  trace::SpillWriter writer(path, empty.header);
+  const trace::SpilledTrace spilled = writer.finish(empty.header.trace_end);
+  EXPECT_EQ(spilled.digest(), empty.digest());
+
+  analysis::SessionAccumulator sessions;
+  analysis::RequestSizeAccumulator requests;
+  analysis::IoRateAccumulator io_rate(0, 0);
+  EXPECT_EQ(trace::stream_postprocess(spilled, {&sessions, &requests,
+                                                &io_rate}),
+            0u);
+  const analysis::SessionStore str_store = sessions.take(spilled.header);
+  const analysis::RequestSizeResult str_req = requests.finish();
+  const analysis::IoRateResult str_rate = io_rate.finish();
+
+  EXPECT_EQ(str_store.read_only_sessions(), mat_store.read_only_sessions());
+  EXPECT_TRUE(str_store.read_only_sessions().empty());
+  EXPECT_EQ(str_req.small_read_fraction, mat_req.small_read_fraction);
+  EXPECT_EQ(str_req.small_write_fraction, mat_req.small_write_fraction);
+  EXPECT_EQ(str_rate.mean_mb_per_s,
+            analysis::analyze_io_rate(sorted).mean_mb_per_s);
+
+  // The degenerate case must not poison figure collection either.
+  const auto str_figs = analysis::collect_trace_figures(
+      str_store, str_req, empty.header.block_size);
+  const auto mat_figs = analysis::collect_trace_figures(
+      mat_store, mat_req, empty.header.block_size);
+  ASSERT_EQ(str_figs.curves.size(), mat_figs.curves.size());
+  for (std::size_t i = 0; i < str_figs.curves.size(); ++i) {
+    EXPECT_EQ(str_figs.curves[i].ys, mat_figs.curves[i].ys);
+  }
+}
+
+}  // namespace
+}  // namespace charisma

@@ -421,6 +421,51 @@ TEST(LintRules, ClassifyPaths) {
   EXPECT_FALSE(classify_path("src/util/stats.cpp").rng_exempt);
 }
 
+TEST(LintRules, TraceMaterializeFiresOutsideReferencePath) {
+  EXPECT_EQ(rules_fired("std::vector<trace::Record> all;", FileClass{}),
+            std::vector<std::string>{"charisma-trace-materialize"});
+  EXPECT_EQ(rules_fired("std::vector< Record > all;", FileClass{}),
+            std::vector<std::string>{"charisma-trace-materialize"});
+  EXPECT_EQ(rules_fired("return sorted.records().size();", FileClass{}),
+            std::vector<std::string>{"charisma-trace-materialize"});
+  EXPECT_EQ(rules_fired("auto v = trace->records();", FileClass{}),
+            std::vector<std::string>{"charisma-trace-materialize"});
+}
+
+TEST(LintRules, TraceMaterializeIgnoresBoundedShapes) {
+  // Other element types, member access without a call, calls with
+  // arguments, and counters merely containing 'records' are all fine.
+  EXPECT_TRUE(rules_fired("std::vector<Block> blocks;", FileClass{}).empty());
+  EXPECT_TRUE(
+      rules_fired("for (const auto& r : sorted.records) use(r);", FileClass{})
+          .empty());
+  EXPECT_TRUE(
+      rules_fired("auto n = collector.records_seen();", FileClass{}).empty());
+  EXPECT_TRUE(rules_fired("auto b = t.records(3);", FileClass{}).empty());
+}
+
+TEST(LintRules, TraceMaterializeExemptsReferencePathAndTests) {
+  const char* src = "std::vector<trace::Record> all = t.records();";
+  EXPECT_TRUE(
+      scan_source("src/trace/postprocess.cpp", src,
+                  classify_path("src/trace/postprocess.cpp"))
+          .empty());
+  EXPECT_TRUE(scan_source("tests/trace/spill_test.cpp", src,
+                          classify_path("tests/trace/spill_test.cpp"))
+                  .empty());
+  EXPECT_FALSE(scan_source("src/cache/replay.cpp", src,
+                           classify_path("src/cache/replay.cpp"))
+                   .empty());
+}
+
+TEST(LintRules, TraceMaterializeSuppressible) {
+  EXPECT_TRUE(
+      rules_fired("// NOLINTNEXTLINE(charisma-trace-materialize)\n"
+                  "std::vector<trace::Record> audited;",
+                  FileClass{})
+          .empty());
+}
+
 // The golden tests: each crafted bad input's findings pinned line by line,
 // and across all fixtures every rule must fire at least once.
 struct GoldenCase {
@@ -433,6 +478,7 @@ constexpr GoldenCase kGoldenCases[] = {
     {"bad_concurrency", "src/cache/bad_concurrency.cpp"},
     {"bad_layering", "src/net/bad_layering.cpp"},
     {"bad_suppression", "src/sim/bad_suppression.cpp"},
+    {"bad_materialize", "src/analysis/bad_materialize.cpp"},
 };
 
 std::vector<Finding> golden_findings(const GoldenCase& c) {
@@ -473,7 +519,7 @@ TEST(LintGolden, EveryRuleFiresSomewhereInTheFixtures) {
 }
 
 TEST(LintGolden, ListsAllKnownRules) {
-  EXPECT_EQ(known_rules().size(), 10u);
+  EXPECT_EQ(known_rules().size(), 11u);
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+// The spill writer / spilled-trace reader behind TraceMode::kStreaming.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/postprocess.hpp"
+#include "trace/spill.hpp"
+#include "trace/trace_file.hpp"
+
+namespace charisma::trace {
+namespace {
+
+/// RecordSink that just collects the pushed stream.
+struct CollectSink final : RecordSink {
+  std::vector<Record> records;
+  void on_record(const Record& r) override { records.push_back(r); }
+};
+
+class SpillTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "charisma_spill.chtr";
+
+  static TraceFile sample(int blocks) {
+    TraceFile t;
+    t.header.compute_nodes = 4;
+    t.header.io_nodes = 2;
+    t.header.seed = 99;
+    t.header.trace_start = 0;
+    t.header.trace_end = 100000;
+    t.header.label = "spilled";
+    for (int b = 0; b < blocks; ++b) {
+      TraceBlock block;
+      block.node = b % 4;
+      block.sent_local = b * 1000;
+      block.recv_global = b * 1000 + 50;
+      for (int i = 0; i < 8; ++i) {
+        Record r;
+        r.kind = EventKind::kRead;
+        r.node = block.node;
+        r.timestamp = b * 1000 + i;
+        r.bytes = 100;
+        block.records.push_back(r);
+      }
+      t.blocks.push_back(std::move(block));
+    }
+    return t;
+  }
+
+  /// Spills every block of `t` through a SpillWriter, unfinished when
+  /// `finish` is false (simulating a crash before the back-patch).
+  SpilledTrace spill(const TraceFile& t, bool finish = true) {
+    SpillWriter writer(path_, t.header);
+    for (const auto& b : t.blocks) writer.append(b);
+    if (finish) return writer.finish(t.header.trace_end);
+    // Crash path: the writer goes out of scope with the block count and
+    // trace_end placeholders still zero; complete frames are on disk.
+    return SpilledTrace{};
+  }
+
+  void truncate_to(std::size_t bytes) {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(std::min(bytes, contents.size())));
+  }
+
+  std::size_t file_size() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    return static_cast<std::size_t>(in.tellg());
+  }
+};
+
+TEST_F(SpillTest, WriterMatchesTraceFileDigestAndBytes) {
+  const TraceFile t = sample(10);
+  const SpilledTrace s = spill(t);
+  EXPECT_EQ(s.record_count(), t.record_count());
+  EXPECT_EQ(s.digest(), t.digest());
+
+  // The spill format IS the trace-file format: TraceFile::read parses it.
+  const TraceFile back = TraceFile::read(path_);
+  EXPECT_EQ(back.digest(), t.digest());
+  EXPECT_EQ(back.header.trace_end, t.header.trace_end);
+}
+
+TEST_F(SpillTest, OpensTraceFilesWrittenByTraceFileWrite) {
+  const TraceFile t = sample(6);
+  t.write(path_);
+  const SpilledTrace s = SpilledTrace::open(path_);
+  EXPECT_EQ(s.record_count(), t.record_count());
+  EXPECT_EQ(s.digest(), t.digest());
+  EXPECT_EQ(s.header.label, t.header.label);
+}
+
+TEST_F(SpillTest, StreamMatchesMaterializedPostprocess) {
+  const TraceFile t = sample(12);
+  const SortedTrace sorted = postprocess(t);
+  const SpilledTrace s = spill(t);
+  CollectSink sink;
+  const std::uint64_t pushed = stream_postprocess(s, {&sink});
+  ASSERT_EQ(pushed, sorted.records.size());
+  for (std::size_t i = 0; i < sorted.records.size(); ++i) {
+    std::uint8_t a[Record::kEncodedSize];
+    std::uint8_t b[Record::kEncodedSize];
+    sorted.records[i].encode(a);
+    sink.records[i].encode(b);
+    ASSERT_EQ(0, std::memcmp(a, b, sizeof a)) << "record " << i;
+  }
+}
+
+TEST_F(SpillTest, EmptySpillStreamsZeroRecords) {
+  TraceFile t = sample(0);
+  const SpilledTrace s = spill(t);
+  EXPECT_EQ(s.digest(), t.digest());
+  CollectSink sink;
+  EXPECT_EQ(stream_postprocess(s, {&sink}), 0u);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+// The tolerant-reader contract for spills: a crash before finish() leaves
+// the block-count placeholder at zero, but every appended frame is complete
+// on disk and must be recovered, not treated as fatal.
+TEST_F(SpillTest, UnfinishedSpillRecoversAllAppendedBlocks) {
+  const TraceFile t = sample(10);
+  (void)spill(t, /*finish=*/false);
+
+  bool truncated = false;
+  const SpilledTrace s =
+      SpilledTrace::open(path_, /*tolerant=*/true, &truncated);
+  EXPECT_TRUE(truncated);  // the count was never patched
+  EXPECT_EQ(s.blocks.size(), t.blocks.size());
+  EXPECT_EQ(s.record_count(), t.record_count());
+
+  // The recovered blocks still stream in postprocessed order.
+  CollectSink sink;
+  EXPECT_EQ(stream_postprocess(s, {&sink}), t.record_count());
+}
+
+TEST_F(SpillTest, TornFinalBlockIsDroppedNotFatal) {
+  const TraceFile t = sample(10);
+  (void)spill(t, /*finish=*/false);
+  truncate_to(file_size() - 30);  // tear into the last block's payload
+
+  bool truncated = false;
+  const SpilledTrace s =
+      SpilledTrace::open(path_, /*tolerant=*/true, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(s.blocks.size(), t.blocks.size() - 1);
+  CollectSink sink;
+  EXPECT_EQ(stream_postprocess(s, {&sink}),
+            t.record_count() - t.blocks.back().records.size());
+}
+
+TEST_F(SpillTest, StrictOpenOfUnfinishedSpillSeesDeclaredCount) {
+  (void)spill(sample(4), /*finish=*/false);
+  // Strict mode trusts the (placeholder-zero) count: no blocks, no error.
+  const SpilledTrace s = SpilledTrace::open(path_, /*tolerant=*/false);
+  EXPECT_TRUE(s.blocks.empty());
+}
+
+}  // namespace
+}  // namespace charisma::trace

@@ -1,12 +1,21 @@
 // charisma_analyze — offline analysis of a saved CHARISMA trace.
 //
 // Reads a binary trace written by the collector (e.g. via
-// `trace_and_characterize --out=nas.chtr`), postprocesses it (clock fit +
-// chronological sort) and runs the requested analyses, like the analysis
-// programs behind the paper's §4.
+// `trace_and_characterize --out=nas.chtr`) and runs the requested analyses,
+// like the analysis programs behind the paper's §4.
+//
+// By default the trace is *streamed*: the file's blocks are merged in
+// corrected chronological order and pushed once through the bounded-state
+// accumulators, so resident memory is O(merge window) — a trace far larger
+// than RAM still analyzes.  Streaming mode also opens the file tolerantly:
+// a trace cut short by a crash (unpatched block count, torn final block)
+// analyzes up to the crash point with a warning instead of failing.
+// --trace-mode=materialized loads the whole record vector in memory (the
+// reference path; required for --strided, which rewrites the records).
 //
 //   charisma_analyze <trace.chtr> [--report=<section>] [--cache=<sim>]
 //                    [--buffers=N] [--policy=lru|fifo|ip] [--strided]
+//                    [--trace-mode=streaming|materialized]
 //
 //   --report:  all (default), jobs, nodes, population, files-per-job,
 //              sizes, requests, sequentiality, intervals, regularity,
@@ -14,13 +23,19 @@
 //              figure, with the fidelity tolerance bands)
 //   --cache:   io | compute | combined  (trace-driven cache simulation)
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/analyzers.hpp"
 #include "analysis/fidelity.hpp"
+#include "cache/replay.hpp"
 #include "cache/simulators.hpp"
+#include "core/stream_study.hpp"
 #include "core/strided.hpp"
 #include "trace/postprocess.hpp"
+#include "trace/spill.hpp"
 #include "util/flags.hpp"
 
 using namespace charisma;
@@ -31,36 +46,78 @@ int usage() {
   std::fprintf(stderr,
                "usage: charisma_analyze <trace.chtr> [--report=SECTION] "
                "[--cache=io|compute|combined] [--buffers=N] "
-               "[--policy=lru|fifo|ip] [--strided]\n");
+               "[--policy=lru|fifo|ip] [--strided] "
+               "[--trace-mode=streaming|materialized]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv,
-                    {"report", "cache", "buffers", "policy", "strided"});
+  util::Flags flags(argc, argv, {"report", "cache", "buffers", "policy",
+                                 "strided", "trace-mode"});
   if (flags.remaining_argc() < 2) return usage();
   const std::string path = flags.remaining()[1];
+  const core::TraceMode mode =
+      core::parse_trace_mode(flags.get("trace-mode", "streaming"));
+  const std::string report = flags.get("report", "all");
+  const auto want = [&](const char* name) {
+    return report == "all" || report == name;
+  };
+  // Figure 8 / --cache both replay the filtered op stream; collect it during
+  // the streaming merge only when something will consume it.
+  const bool want_ops = want("paper") || flags.has("cache");
 
-  trace::TraceFile raw;
+  trace::TraceHeader header;
+  std::uint64_t record_count = 0;
+  analysis::SessionStore store;
+  analysis::RequestSizeResult requests;
+  std::optional<trace::SortedTrace> sorted;  // materialized mode only
+  std::optional<cache::ReplayOpSpill> ops;   // streaming mode only
+
   try {
-    raw = trace::TraceFile::read(path);
+    if (mode == core::TraceMode::kStreaming) {
+      bool truncated = false;
+      const trace::SpilledTrace spilled =
+          trace::SpilledTrace::open(path, /*tolerant=*/true, &truncated);
+      if (truncated) {
+        std::fprintf(stderr,
+                     "warning: %s is truncated (crashed writer?); analyzing "
+                     "the %llu complete blocks before the tear\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(spilled.blocks.size()));
+      }
+      header = spilled.header;
+      record_count = spilled.record_count();
+      analysis::SessionAccumulator sessions;
+      analysis::RequestSizeAccumulator request_acc;
+      std::optional<cache::ReplayOpSink> op_sink;
+      std::vector<trace::RecordSink*> sinks{&sessions, &request_acc};
+      if (want_ops) {
+        op_sink.emplace(core::spill_file_path("", "analyze_ops"));
+        sinks.push_back(&*op_sink);
+      }
+      (void)trace::stream_postprocess(spilled, sinks);
+      store = sessions.take(header);
+      requests = request_acc.finish();
+      if (op_sink.has_value()) ops = op_sink->finish();
+    } else {
+      const trace::TraceFile raw = trace::TraceFile::read(path);
+      header = raw.header;
+      record_count = raw.record_count();
+      sorted = trace::postprocess(raw);
+      store = analysis::SessionStore(*sorted);
+      requests = analysis::analyze_request_sizes(*sorted);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), e.what());
     return 1;
   }
   std::printf("trace '%s': %llu records from %d compute / %d I/O nodes\n",
-              raw.header.label.c_str(),
-              static_cast<unsigned long long>(raw.record_count()),
-              raw.header.compute_nodes, raw.header.io_nodes);
-  const trace::SortedTrace sorted = trace::postprocess(raw);
-  const analysis::SessionStore store(sorted);
+              header.label.c_str(),
+              static_cast<unsigned long long>(record_count),
+              header.compute_nodes, header.io_nodes);
 
-  const std::string report = flags.get("report", "all");
-  const auto want = [&](const char* name) {
-    return report == "all" || report == name;
-  };
   if (want("jobs")) {
     std::printf("--- Jobs (Figure 1) ---\n%s\n",
                 analysis::analyze_job_concurrency(store).render().c_str());
@@ -83,7 +140,7 @@ int main(int argc, char** argv) {
   }
   if (want("requests")) {
     std::printf("--- Request sizes (Figure 4) ---\n%s\n",
-                analysis::analyze_request_sizes(sorted).render().c_str());
+                requests.render().c_str());
   }
   if (want("sequentiality")) {
     std::printf("--- Sequentiality (Figures 5/6) ---\n%s\n",
@@ -104,26 +161,33 @@ int main(int argc, char** argv) {
   if (want("sharing")) {
     std::printf(
         "--- Sharing (Figure 7) ---\n%s\n",
-        analysis::analyze_sharing(store, raw.header.block_size)
-            .render()
-            .c_str());
+        analysis::analyze_sharing(store, header.block_size).render().c_str());
   }
+
+  // Both cache consumers share one runner (and, streaming, one op spill).
+  const std::set<cache::SessionKey> read_only = store.read_only_sessions();
+  std::optional<cache::SweepRunner> runner;
+  if (want_ops) {
+    if (ops.has_value()) {
+      runner.emplace(std::move(*ops), read_only);
+    } else {
+      runner.emplace(*sorted, read_only);
+    }
+  }
+
   if (want("paper")) {
     // Figure 8's statistics come from the compute-cache replay (one buffer
     // per node, the paper's configuration).
-    cache::ComputeCacheConfig cache_cfg;
-    const auto compute = cache::simulate_compute_cache(
-        sorted, store.read_only_sessions(), cache_cfg);
-    const analysis::CacheFigures cache_figs{compute.fraction_jobs_above_75,
-                                            compute.fraction_jobs_zero};
+    const auto compute = runner->run_compute({cache::ComputeCacheConfig{}});
+    const analysis::CacheFigures cache_figs{
+        compute[0].fraction_jobs_above_75, compute[0].fraction_jobs_zero};
     const auto checks = analysis::check_paper_fidelity(
-        store, sorted, raw.header.block_size, &cache_figs);
+        store, requests, header.block_size, &cache_figs);
     std::printf("--- Paper-vs-measured deltas ---\n%s\n",
                 analysis::render_fidelity(checks).c_str());
   }
 
   if (flags.has("cache")) {
-    const auto read_only = store.read_only_sessions();
     const std::string sim = flags.get("cache", "io");
     const auto buffers =
         static_cast<std::size_t>(flags.get_int("buffers", 4000));
@@ -135,7 +199,7 @@ int main(int argc, char** argv) {
     if (sim == "compute") {
       cache::ComputeCacheConfig cfg;
       cfg.buffers_per_node = std::max<std::size_t>(buffers / 4000, 1);
-      const auto r = cache::simulate_compute_cache(sorted, read_only, cfg);
+      const auto r = runner->run_compute({cfg})[0];
       std::printf(
           "compute-node cache: %zu jobs, %.1f%% at zero, %.1f%% above "
           "75%%, overall hit rate %.1f%%\n",
@@ -143,21 +207,26 @@ int main(int argc, char** argv) {
           r.fraction_jobs_above_75 * 100.0, r.overall_hit_rate() * 100.0);
     } else {
       cache::IoNodeSimConfig cfg;
-      cfg.io_nodes = raw.header.io_nodes > 0 ? raw.header.io_nodes : 10;
+      cfg.io_nodes = header.io_nodes > 0 ? header.io_nodes : 10;
       cfg.total_buffers = buffers;
       cfg.policy = policy;
       if (sim == "combined") cfg.compute_buffers_per_node = 1;
-      const auto r = cache::simulate_io_cache(sorted, read_only, cfg);
+      const auto r = runner->run_io({cfg})[0];
       std::printf("I/O-node cache (%s, %zu buffers): %s\n",
                   to_string(policy), buffers, r.describe().c_str());
     }
   }
 
   if (flags.get_bool("strided", false)) {
+    if (!sorted.has_value()) {
+      std::fprintf(stderr,
+                   "--strided rewrites the record vector and needs "
+                   "--trace-mode=materialized\n");
+      return 2;
+    }
     std::printf(
         "--- Strided rewriting (S5) ---\n%s\n",
-        core::rewrite_strided(sorted, raw.header.io_nodes,
-                              raw.header.block_size)
+        core::rewrite_strided(*sorted, header.io_nodes, header.block_size)
             .render()
             .c_str());
   }

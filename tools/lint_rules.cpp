@@ -23,6 +23,7 @@ constexpr std::string_view kSharedCapture = "charisma-shared-capture";
 constexpr std::string_view kPointerOrder = "charisma-pointer-order";
 constexpr std::string_view kParallelFold = "charisma-parallel-fold";
 constexpr std::string_view kLayering = "charisma-layering";
+constexpr std::string_view kTraceMaterialize = "charisma-trace-materialize";
 constexpr std::string_view kUnknownSuppression = "charisma-unknown-suppression";
 constexpr std::string_view kUnusedSuppression = "charisma-unused-suppression";
 
@@ -923,6 +924,67 @@ void scan_unordered_iteration(std::string_view file, const Stripped& s,
   }
 }
 
+// ---- Whole-trace materialization -------------------------------------------
+
+/// Guards the streaming pipeline's O(window) RSS contract (stream_study.hpp):
+/// outside the trace module's reference path, nothing may collect the record
+/// stream into a whole-trace vector or pull one through a full-vector
+/// accessor.  Two shapes:
+///   - a `std::vector<Record>` / `std::vector<trace::Record>` type mention
+///     (declaration, member, parameter, or return type — any of them is a
+///     container sized by the trace, not the window);
+///   - a no-argument member call `.records()` / `->records()`, the accessor
+///     shape that hands out such a vector.
+void scan_trace_materialize(std::string_view file, const Stripped& s,
+                            std::vector<Finding>& out) {
+  const std::string_view code = s.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("vector", pos)) != std::string_view::npos) {
+    const std::size_t start = pos;
+    pos += 6;
+    if (!token_at(code, start, "vector")) continue;
+    std::size_t j = skip_ws(code, pos);
+    if (j >= code.size() || code[j] != '<') continue;
+    const std::size_t end = skip_balanced(code, j, '<', '>');
+    if (end == std::string_view::npos) continue;
+    std::string inner;
+    for (std::size_t k = j + 1; k + 1 < end; ++k) {
+      if (!ws_char(code[k])) inner += code[k];
+    }
+    if (inner != "Record" && inner != "trace::Record" &&
+        inner != "charisma::trace::Record") {
+      continue;
+    }
+    out.push_back(
+        {std::string(file), line_of(s, start), std::string(kTraceMaterialize),
+         "whole-trace std::vector<Record> materialization: this buffer "
+         "scales with the trace, not the merge window; consume the stream "
+         "through a trace::RecordSink (only the trace module's reference "
+         "path may materialize)"});
+  }
+  pos = 0;
+  while ((pos = code.find("records", pos)) != std::string_view::npos) {
+    const std::size_t start = pos;
+    pos += 7;
+    if (!token_at(code, start, "records")) continue;
+    std::size_t b = start;
+    while (b > 0 && ws_char(code[b - 1])) --b;
+    const bool member =
+        (b > 0 && code[b - 1] == '.') ||
+        (b > 1 && code[b - 2] == '-' && code[b - 1] == '>');
+    if (!member) continue;
+    std::size_t j = skip_ws(code, pos);
+    if (j >= code.size() || code[j] != '(') continue;
+    j = skip_ws(code, j + 1);
+    if (j >= code.size() || code[j] != ')') continue;
+    out.push_back(
+        {std::string(file), line_of(s, start), std::string(kTraceMaterialize),
+         "full-vector records() accessor: pulling the whole record vector "
+         "defeats the streaming pipeline's bounded-memory contract; push "
+         "records through a trace::RecordSink instead"});
+  }
+}
+
 void push_token_findings(std::string_view file, const Stripped& s,
                          std::string_view token, bool call_only,
                          std::string_view rule, const std::string& message,
@@ -943,6 +1005,7 @@ const std::vector<std::string>& known_rules() {
       std::string(kUnorderedIter),     std::string(kFloatTime),
       std::string(kSharedCapture),     std::string(kPointerOrder),
       std::string(kParallelFold),      std::string(kLayering),
+      std::string(kTraceMaterialize),
       std::string(kUnknownSuppression), std::string(kUnusedSuppression),
   };
   return rules;
@@ -975,6 +1038,9 @@ FileClass classify_path(std::string_view path) {
                            p.find("export") != std::string::npos ||
                            p.find("postprocess") != std::string::npos;
   cls.lint_fixture = p.find("tests/lint/data") != std::string::npos;
+  cls.trace_reference = p.find("/trace/") != std::string::npos ||
+                        p.rfind("trace/", 0) == 0 ||
+                        p.find("tests/") != std::string::npos;
   // Module: the directory after src/, or the top-level tree for
   // bench/tools/tests/examples.  Handles absolute paths by searching for
   // the component, so labels and filesystem paths classify identically.
@@ -1065,6 +1131,7 @@ std::vector<Finding> scan_source(std::string_view file_label,
   scan_parallel_captures(file_label, s, raw);
   scan_pointer_order(file_label, s, raw);
   scan_layering(file_label, content, s, cls, raw);
+  if (!cls.trace_reference) scan_trace_materialize(file_label, s, raw);
 
   std::vector<Finding> out;
   for (auto& f : raw) {

@@ -43,6 +43,13 @@
 //   charisma-layering       a quoted #include whose target module sits above
 //                           (or beside) the including file's module in the
 //                           layering DAG (see layer_rank_of)
+//   charisma-trace-materialize  a whole-trace std::vector<Record>
+//                           materialization buffer, or a full-vector
+//                           .records() accessor call, outside the trace
+//                           module's reference path (or tests): the
+//                           streaming pipeline's O(window) RSS guarantee
+//                           dies the moment a consumer collects the record
+//                           stream; push through trace::RecordSink instead
 //   charisma-unknown-suppression  a suppression comment naming no known
 //                           charisma rule (a stale escape hatch hides
 //                           nothing but doubt)
@@ -75,6 +82,10 @@ struct FileClass {
   /// tests/lint/data fixtures are deliberately hazardous and only ever
   /// scanned by the golden tests; scan_source returns no findings for them.
   bool lint_fixture = false;
+  /// The materialized-trace reference path (the trace module itself) plus
+  /// tests, which build small fixture traces by hand: the only places
+  /// allowed to hold a whole-trace record vector.
+  bool trace_reference = false;
   /// Module the file belongs to ("util", "cfs", ..., "bench", "tests");
   /// empty when the path carries no module (layering pass disabled).
   std::string module;

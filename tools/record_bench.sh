@@ -5,8 +5,12 @@
 # same run under the reference heap queue, the same run with the reference
 # per-config sweep mode, the same run at 2 and 4 engine threads (the sharded
 # conservative-window engine — digest-identical, so only the timings move),
-# and — when a pre-change baseline file is passed — the end-to-end speedup
-# against it, so perf regressions show up as diffs.
+# the same run with the materialized (in-memory reference) trace mode, a
+# scale-1.0 pair in both trace modes (the streaming pipeline's bounded-RSS
+# claim, measured: peak_rss_kb at scale 1.0 streaming must stay within 2x of
+# the scale-0.2 materialized entry), and — when a pre-change baseline file is
+# passed — the end-to-end speedup against it, so perf regressions show up as
+# diffs.
 #
 # Usage: tools/record_bench.sh [scale] [threads] [baseline.json] [reps]
 #   scale          workload scale (default 0.2)
@@ -36,14 +40,14 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_study charisma_campaign > /de
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-run_case() { # label queue sweep-mode [extra perf_study flags...]
-             # -> $TMP/<label>.json (best of $REPS by total)
-  local label="$1" queue="$2" sweep="$3"
-  shift 3
-  echo "[record_bench] measuring $label ($queue queue, $sweep sweep, scale=$SCALE threads=$THREADS, best of $REPS)..."
+run_case_at() { # label scale reps queue sweep-mode [extra perf_study flags...]
+                # -> $TMP/<label>.json (best of reps by total)
+  local label="$1" scale="$2" reps="$3" queue="$4" sweep="$5"
+  shift 5
+  echo "[record_bench] measuring $label ($queue queue, $sweep sweep, scale=$scale threads=$THREADS, best of $reps)..."
   local best=""
-  for rep in $(seq 1 "$REPS"); do
-    "$BUILD/bench/perf_study" --scale="$SCALE" --threads="$THREADS" \
+  for rep in $(seq 1 "$reps"); do
+    "$BUILD/bench/perf_study" --scale="$scale" --threads="$THREADS" \
         --queue="$queue" --sweep-mode="$sweep" "$@" \
         --out="$TMP/$label.rep$rep.json" > /dev/null 2> /dev/null
     local total
@@ -58,6 +62,12 @@ run_case() { # label queue sweep-mode [extra perf_study flags...]
   done
 }
 
+run_case() { # label queue sweep-mode [extra perf_study flags...]
+  local label="$1" queue="$2" sweep="$3"
+  shift 3
+  run_case_at "$label" "$SCALE" "$REPS" "$queue" "$sweep" "$@"
+}
+
 run_case bucketed bucketed grouped
 run_case reference reference grouped
 run_case per_config_sweep bucketed per-config
@@ -67,6 +77,15 @@ run_case per_config_sweep bucketed per-config
 # entries together with host.cores.
 run_case engine_threads_2 bucketed grouped --engine-threads=2
 run_case engine_threads_4 bucketed grouped --engine-threads=4
+# Trace-mode cross-check at the default scale: the materialized (in-memory
+# reference) pipeline, digest-identical to the streaming default.
+run_case materialized_trace bucketed grouped --trace-mode=materialized
+# The bounded-RSS headline: scale 1.0 in both trace modes, one rep each
+# (minutes, and RSS — the figure of merit here — does not jitter like wall
+# time does).  Streaming peak RSS must stay within 2x of the scale-0.2
+# materialized entry; the ratio lands in scale_1.0.rss below.
+run_case_at scale1_streaming 1.0 1 bucketed grouped --trace-mode=streaming
+run_case_at scale1_materialized 1.0 1 bucketed grouped --trace-mode=materialized
 
 # Campaign throughput: two seed replications at the same scale, fanned over
 # the requested worker threads (0 = hardware concurrency).
@@ -91,6 +110,9 @@ jq -n \
   --slurpfile sweep_ref "$TMP/per_config_sweep.json" \
   --slurpfile eng2 "$TMP/engine_threads_2.json" \
   --slurpfile eng4 "$TMP/engine_threads_4.json" \
+  --slurpfile mat "$TMP/materialized_trace.json" \
+  --slurpfile s1str "$TMP/scale1_streaming.json" \
+  --slurpfile s1mat "$TMP/scale1_materialized.json" \
   --slurpfile base "$TMP/baseline.json" \
   --arg kernel "$(uname -sr)" \
   --arg recorded "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -107,6 +129,19 @@ jq -n \
      per_config_sweep: $sweep_ref[0],
      engine_threads_2: $eng2[0],
      engine_threads_4: $eng4[0],
+     materialized_trace: $mat[0],
+     "scale_1.0": {
+       streaming: $s1str[0],
+       materialized: $s1mat[0],
+       rss: {
+         streaming_peak_rss_kb: $s1str[0].peak_rss_kb,
+         materialized_peak_rss_kb: $s1mat[0].peak_rss_kb,
+         streaming_vs_materialized:
+           ($s1str[0].peak_rss_kb / $s1mat[0].peak_rss_kb),
+         streaming_vs_scale02_materialized:
+           ($s1str[0].peak_rss_kb / $mat[0].peak_rss_kb)
+       }
+     },
      baseline_pre_change: $base[0],
      campaign: {
        studies: $campaign_studies,
@@ -125,6 +160,10 @@ jq -n \
          ($cur[0].stages_ms.study / $eng2[0].stages_ms.study),
        study_stage_engine_threads_4_vs_serial:
          ($cur[0].stages_ms.study / $eng4[0].stages_ms.study),
+       end_to_end_streaming_vs_materialized:
+         ($mat[0].stages_ms.total / $cur[0].stages_ms.total),
+       peak_rss_streaming_vs_materialized:
+         ($cur[0].peak_rss_kb / $mat[0].peak_rss_kb),
        end_to_end_vs_baseline:
          (if $base[0] == null then null
           else $base[0].stages_ms.total / $cur[0].stages_ms.total end),
