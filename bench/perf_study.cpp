@@ -16,6 +16,10 @@
 //   --sweep-mode=grouped   cache sweep execution: grouped | per-config
 //   --trace-mode=streaming trace pipeline: streaming (bounded RSS) |
 //                          materialized (in-memory reference)
+//   --workload=synthetic   workload source: synthetic | replay:<chwl path> |
+//                          checkpoint (see workload/source.hpp)
+//   --chkpoint-size/bw/runtime/mtti/nodes/chunk
+//                          checkpoint-source knobs (workload/checkpoint.hpp)
 //   --out=<path>           also write the JSON there (stdout always)
 //   --check-digest=0x...   exit non-zero unless the trace digest matches
 //
@@ -39,6 +43,7 @@
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/source.hpp"
 
 namespace charisma {
 namespace {
@@ -117,9 +122,14 @@ void print_sweep_results(
 }
 
 int run(int argc, char** argv) {
-  util::Flags flags(argc, argv,
-                    {"scale", "seed", "threads", "engine-threads", "queue",
-                     "sweep-mode", "trace-mode", "out", "check-digest"});
+  std::vector<std::string> known{"scale",      "seed",      "threads",
+                                 "engine-threads", "queue", "sweep-mode",
+                                 "trace-mode", "workload",  "out",
+                                 "check-digest"};
+  for (const auto& name : workload::checkpoint_flag_names()) {
+    known.push_back(name);
+  }
+  util::Flags flags(argc, argv, known);
   const double scale = flags.get_double("scale", 0.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
@@ -146,6 +156,9 @@ int run(int argc, char** argv) {
   config.queue = queue_name == "bucketed" ? sim::QueueKind::kBucketed
                                           : sim::QueueKind::kReferenceHeap;
   config.engine_threads = engine_threads;
+  config.source =
+      workload::parse_source_spec(flags.get("workload", "synthetic"));
+  workload::apply_checkpoint_flags(flags, &config.workload);
 
   util::ThreadPool pool(threads);
   const auto total_start = WallClock::now();
@@ -244,6 +257,7 @@ int run(int argc, char** argv) {
             std::to_string(shards.inline_tasks) + ",\n";
   }
   json += "  \"queue\": \"" + queue_name + "\",\n";
+  json += "  \"workload\": \"" + workload::to_string(config.source) + "\",\n";
   json += "  \"sweep_mode\": \"" + sweep_mode_name + "\",\n";
   json += "  \"trace_mode\": \"" + trace_mode_name + "\",\n";
   json += "  \"sweep_passes\": " + std::to_string(sweep_passes) + ",\n";

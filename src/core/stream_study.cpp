@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace charisma::core {
 
@@ -45,15 +48,28 @@ StreamedStudyOutput run_streamed_study(const StudyConfig& config,
   collector.start_spilling(spill_file_path(options.spill_dir, "trace"));
 
   StreamedStudyOutput out;
-  out.workload = workload::generate(config.workload);
-  workload::Driver driver(machine, runtime, collector, out.workload);
-  driver.run();
+  // Same source dispatch as run_study; the seam sits exactly where the
+  // legacy pipeline called generate().
+  std::unique_ptr<workload::Source> source;
+  std::optional<workload::Driver> driver;
+  if (config.legacy_driver) {
+    CHECK(config.source.method == "synthetic",
+          "legacy_driver is the synthetic reference path; got source '",
+          workload::to_string(config.source), "'");
+    out.workload = workload::generate(config.workload);
+    driver.emplace(machine, runtime, collector, out.workload);
+  } else {
+    source = workload::load_source(config.source, config.workload);
+    out.workload = source->workload();
+    driver.emplace(machine, runtime, collector, *source);
+  }
+  driver->run();
 
-  out.jobs = driver.results();
+  out.jobs = driver->results();
   out.records = collector.records_seen();
   out.collector_messages = collector.messages_to_collector();
   out.trace_bytes = collector.trace_bytes_written();
-  out.total_ops = driver.total_ops();
+  out.total_ops = driver->total_ops();
   out.events_dispatched = engine.dispatched_events();
   out.sim_end = engine.now();
   out.engine_threads = config.engine_threads;

@@ -1,5 +1,8 @@
 #include "core/study.hpp"
 
+#include <memory>
+#include <optional>
+
 #include "util/check.hpp"
 
 namespace charisma::core {
@@ -30,15 +33,29 @@ StudyOutput run_study(const StudyConfig& config) {
   trace::Collector collector(machine, config.collector);
 
   StudyOutput out;
-  out.workload = workload::generate(config.workload);
-  workload::Driver driver(machine, runtime, collector, out.workload);
-  driver.run();
+  // The source is loaded exactly where the legacy pipeline called
+  // generate(): nothing upstream of this point consumes randomness from the
+  // workload draw, so the seam cannot shift the simulation.
+  std::unique_ptr<workload::Source> source;
+  std::optional<workload::Driver> driver;
+  if (config.legacy_driver) {
+    CHECK(config.source.method == "synthetic",
+          "legacy_driver is the synthetic reference path; got source '",
+          workload::to_string(config.source), "'");
+    out.workload = workload::generate(config.workload);
+    driver.emplace(machine, runtime, collector, out.workload);
+  } else {
+    source = workload::load_source(config.source, config.workload);
+    out.workload = source->workload();
+    driver.emplace(machine, runtime, collector, *source);
+  }
+  driver->run();
 
-  out.jobs = driver.results();
+  out.jobs = driver->results();
   out.records = collector.records_seen();
   out.collector_messages = collector.messages_to_collector();
   out.trace_bytes = collector.trace_bytes_written();
-  out.total_ops = driver.total_ops();
+  out.total_ops = driver->total_ops();
   out.events_dispatched = engine.dispatched_events();
   out.sim_end = engine.now();
   out.engine_threads = config.engine_threads;

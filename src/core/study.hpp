@@ -18,13 +18,17 @@
 #include "trace/postprocess.hpp"
 #include "workload/driver.hpp"
 #include "workload/generator.hpp"
+#include "workload/source.hpp"
 
 namespace charisma::core {
 
 /// The label every study stamps into its trace header.  Shared between the
 /// materialized and streaming runners: the spill header is written up front,
 /// so the label must be identical (and final) in both modes for the trace
-/// digests to match.
+/// digests to match.  Also shared across workload sources — the digest
+/// folds the label, and keeping it source-independent is what lets a
+/// replayed chwl export reproduce its original study's digest bit for bit
+/// (the round-trip test pins this).
 inline constexpr const char* kStudyTraceLabel =
     "charisma synthetic NAS workload";
 
@@ -69,6 +73,16 @@ struct StudyConfig {
   /// Runs the sharded coordinator even at one thread (differential tests
   /// of the window protocol).
   bool force_sharded_engine = false;
+  /// Which workload source feeds the Driver: the synthetic reconstruction
+  /// (default), a chwl replay log ("replay:<path>"), or the Daly
+  /// checkpoint-restart archetype ("checkpoint").  Every analyzer, figure,
+  /// cache sweep, queue kind, engine-thread count, and trace mode runs
+  /// unchanged over any source.
+  workload::SourceSpec source;
+  /// Reference feed for the source differential suite: drive the synthetic
+  /// workload through the pre-Source materialized-script Driver path
+  /// instead of the seam.  Only valid with the synthetic method (CHECK).
+  bool legacy_driver = false;
 };
 
 struct StudyOutput {

@@ -56,6 +56,27 @@ struct SizeConfig {
   double cluster_fraction = 0.38;  // of files drawn from a cluster
 };
 
+/// Knobs for the Daly-interval checkpoint-restart workload source (the
+/// "checkpoint" method of workload::load_source).  Units and spirit follow
+/// the CODES checkpoint generator's --chkpoint-size/bw/runtime/mtti flags;
+/// the magnitudes default much smaller because they feed a simulated 1993
+/// machine, not an exascale projection.
+struct CheckpointConfig {
+  /// Aggregate checkpoint image size, TiB (--chkpoint-size).
+  double size_tib = 0.002;
+  /// Aggregate sustained file-system bandwidth, GiB/s (--chkpoint-bw).
+  double bw_gib_s = 4.0;
+  /// Application runtime to protect, hours (--chkpoint-runtime).  Scaled by
+  /// WorkloadConfig::scale so smoke/CI runs stay cheap.
+  double runtime_hours = 2.0;
+  /// Mean time to interrupt, hours (--chkpoint-mtti).
+  double mtti_hours = 12.0;
+  /// Writer nodes (power of two; the driver clamps to the machine width).
+  std::int32_t nodes = 64;
+  /// Request size of each checkpoint write.
+  std::int64_t chunk_bytes = 1024 * 1024;
+};
+
 struct WorkloadConfig {
   std::uint64_t seed = 42;
   /// Multiplies job counts and the tracing window.
@@ -76,6 +97,9 @@ struct WorkloadConfig {
   /// Fraction of solver jobs that open a restart file they never touch
   /// (the paper's ~2500 opened-but-untouched files).
   double untouched_open_fraction = 0.22;
+  /// Daly checkpoint-restart knobs; only the "checkpoint" workload source
+  /// reads them (the synthetic generator has its own checkpoint archetype).
+  CheckpointConfig checkpoint;
 
   [[nodiscard]] static WorkloadConfig nas_1993();
   /// A fast configuration for unit tests (tiny machine, few jobs).

@@ -21,6 +21,19 @@ Driver::Driver(ipsc::Machine& machine, cfs::Runtime& runtime,
               "driver requires a power-of-two machine");
 }
 
+Driver::Driver(ipsc::Machine& machine, cfs::Runtime& runtime,
+               trace::Collector& collector, Source& source)
+    : machine_(&machine),
+      runtime_(&runtime),
+      collector_(&collector),
+      workload_(&source.workload()),
+      source_(&source),
+      allocator_(net::Hypercube::dimension_for(machine.compute_nodes())) {
+  util::check((std::int32_t{1} << allocator_.dimension()) ==
+                  machine.compute_nodes(),
+              "driver requires a power-of-two machine");
+}
+
 void Driver::prepopulate() {
   // Input files existed before tracing started; create them straight
   // through the metadata layer under a reserved loader job id.
@@ -69,13 +82,15 @@ void Driver::try_start_pending() {
     if (nodes < spec.nodes) ++clamped_;
     const std::int32_t base = allocator_.allocate(nodes);
     if (base < 0) return;
+    const std::size_t spec_index = pending_.front();
     pending_.pop_front();
     allocator_.release(base, nodes);  // re-acquired inside start_job
-    start_job(spec);
+    start_job(spec_index);
   }
 }
 
-void Driver::start_job(const JobSpec& spec) {
+void Driver::start_job(std::size_t spec_index) {
+  const JobSpec& spec = workload_->jobs[spec_index];
   const std::int32_t nodes = std::min(spec.nodes, machine_->compute_nodes());
   const std::int32_t base = allocator_.allocate(nodes);
   util::check(base >= 0, "start_job allocation must succeed");
@@ -84,9 +99,15 @@ void Driver::start_job(const JobSpec& spec) {
   runs_.push_back(std::make_unique<JobRun>());
   JobRun* run = runs_.back().get();
   run->spec = &spec;
+  run->spec_index = spec_index;
   run->base = base;
-  JobScripts scripts = build_scripts(spec, *workload_);
-  run->paths = std::move(scripts.paths);
+  JobScripts scripts;  // legacy mode only; sources hold their own
+  if (source_ != nullptr) {
+    run->paths = source_->start_job(spec_index);
+  } else {
+    scripts = build_scripts(spec, *workload_);
+    run->paths = std::move(scripts.paths);
+  }
   run->result_index = results_.size();
 
   JobResult result;
@@ -111,11 +132,38 @@ void Driver::start_job(const JobSpec& spec) {
     nr.raw = std::make_unique<cfs::Client>(*runtime_, base + rank);
     nr.client = std::make_unique<trace::InstrumentedClient>(
         *nr.raw, *collector_, spec.traced);
-    nr.ops = std::move(scripts.nodes[static_cast<std::size_t>(rank)].ops);
+    if (source_ == nullptr) {
+      nr.ops = std::move(scripts.nodes[static_cast<std::size_t>(rank)].ops);
+    }
     // SPMD startup skew: ranks come up a few hundred microseconds apart.
     machine_->engine().schedule_in_lp(
         machine_->lp_of_compute(base + rank), 200 + 50 * rank,
         [this, run, rank] { step(run, rank); });
+  }
+}
+
+Op* Driver::fetch_op(JobRun* run, std::int32_t rank) {
+  auto& nr = run->nodes[static_cast<std::size_t>(rank)];
+  if (source_ == nullptr) {
+    return nr.pc < nr.ops.size() ? &nr.ops[nr.pc] : nullptr;
+  }
+  if (nr.ended) return nullptr;
+  if (!nr.has_current) {
+    nr.current = source_->next(run->spec_index, rank);
+    if (nr.current.kind == OpKind::kEnd) {
+      nr.ended = true;
+      return nullptr;
+    }
+    nr.has_current = true;
+  }
+  return &nr.current;
+}
+
+void Driver::consume_op(NodeRun& nr) {
+  if (source_ == nullptr) {
+    ++nr.pc;
+  } else {
+    nr.has_current = false;
   }
 }
 
@@ -124,20 +172,21 @@ void Driver::step(JobRun* run, std::int32_t rank) {
   auto& engine = machine_->engine();
   // Everything this rank schedules happens on its own compute node.
   const int lp = machine_->lp_of_compute(run->base + rank);
-  if (nr.pc >= nr.ops.size()) {
+  Op* fetched = fetch_op(run, rank);
+  if (fetched == nullptr) {
     if (++run->done == static_cast<std::int32_t>(run->nodes.size())) {
       finish_job(run);
     }
     return;
   }
-  const Op& op = nr.ops[nr.pc];
+  const Op& op = *fetched;
   auto& result = results_[run->result_index];
 
   // The think time models compute before this operation issues.
   if (op.think > 0) {
     // Consume the think by rescheduling this op with think cleared.
     const MicroSec t = op.think;
-    nr.ops[nr.pc].think = 0;
+    fetched->think = 0;
     engine.schedule_in_lp(lp, t, [this, run, rank] { step(run, rank); });
     return;
   }
@@ -221,13 +270,16 @@ void Driver::step(JobRun* run, std::int32_t rank) {
       // log-P message hops).
       const MicroSec release = 50;
       for (const std::int32_t parked : bar.parked) {
-        run->nodes[static_cast<std::size_t>(parked)].pc++;
+        consume_op(run->nodes[static_cast<std::size_t>(parked)]);
         engine.schedule_in_lp(machine_->lp_of_compute(run->base + parked),
                               release,
                               [this, run, parked] { step(run, parked); });
       }
       break;
     }
+    case OpKind::kEnd:
+      util::check(false, "kEnd is a source sentinel, never executed");
+      break;
   }
 
   if (retry) {
@@ -249,7 +301,7 @@ void Driver::step(JobRun* run, std::int32_t rank) {
   }
   nr.backoff = 0;
 
-  ++nr.pc;
+  consume_op(nr);
   const MicroSec delay = std::max<MicroSec>(next_at - engine.now(), 0);
   engine.schedule_in_lp(lp, delay, [this, run, rank] { step(run, rank); });
 }
@@ -265,6 +317,7 @@ void Driver::finish_job(JobRun* run) {
   end_rec.aux = static_cast<std::int64_t>(run->nodes.size());
   collector_->append_job_event(end_rec);
 
+  if (source_ != nullptr) source_->end_job(run->spec_index);
   allocator_.release(run->base, static_cast<std::int32_t>(run->nodes.size()));
   // The shell stays alive in runs_ (step callbacks may hold the pointer),
   // but the per-node clients, scripts, and barrier state are dead weight

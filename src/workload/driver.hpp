@@ -1,4 +1,4 @@
-// Workload driver: executes a generated workload on the simulated machine.
+// Workload driver: executes a workload on the simulated machine.
 //
 // Responsibilities:
 //   * pre-populate the input files that existed before tracing started;
@@ -7,6 +7,14 @@
 //     chains through the (instrumented or plain) CFS client;
 //   * emit JOB_START / JOB_END records through the collector's separate
 //     job-logging channel, for every job, traced or not (paper §3.1).
+//
+// Two op feeds share one step loop:
+//   * Source mode (the default; any registered workload::Source) pulls each
+//     rank's next op on demand — next(job, rank) until OpKind::kEnd;
+//   * legacy mode (a GeneratedWorkload) materializes each job's scripts at
+//     start via build_scripts(), exactly the pre-Source pipeline.  It is
+//     kept as the differential reference: the source differential suite
+//     holds the synthetic Source bit-identical to it, digest and all.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include "trace/instrumented_client.hpp"
 #include "workload/generator.hpp"
 #include "workload/scheduler.hpp"
+#include "workload/source.hpp"
 
 namespace charisma::workload {
 
@@ -36,8 +45,14 @@ struct JobResult {
 
 class Driver {
  public:
+  /// Legacy reference feed: scripts compiled by build_scripts() at job
+  /// start.  `workload` must outlive the driver.
   Driver(ipsc::Machine& machine, cfs::Runtime& runtime,
          trace::Collector& collector, const GeneratedWorkload& workload);
+  /// Source feed: ops pulled through the pluggable seam.  `source` (and its
+  /// workload()) must outlive the driver.
+  Driver(ipsc::Machine& machine, cfs::Runtime& runtime,
+         trace::Collector& collector, Source& source);
 
   /// Runs the whole workload to completion (drives the engine).
   void run();
@@ -57,8 +72,14 @@ class Driver {
   struct NodeRun {
     std::unique_ptr<cfs::Client> raw;
     std::unique_ptr<trace::InstrumentedClient> client;
+    // Legacy mode: the rank's whole script and a program counter.
     std::vector<Op> ops;
     std::size_t pc = 0;
+    // Source mode: the one pulled-but-unconsumed op (think times are
+    // consumed by zeroing the held copy, retries re-issue it).
+    Op current;
+    bool has_current = false;
+    bool ended = false;
     std::uint64_t retries = 0;
     std::uint64_t backoff = 0;
     std::size_t barriers_passed = 0;
@@ -73,6 +94,7 @@ class Driver {
   };
   struct JobRun {
     const JobSpec* spec = nullptr;
+    std::size_t spec_index = 0;
     std::vector<std::string> paths;
     std::int32_t base = 0;
     std::int32_t done = 0;
@@ -84,14 +106,21 @@ class Driver {
   void prepopulate();
   void on_arrival(std::size_t spec_index);
   void try_start_pending();
-  void start_job(const JobSpec& spec);
+  void start_job(std::size_t spec_index);
   void step(JobRun* run, std::int32_t rank);
   void finish_job(JobRun* run);
+  /// The rank's current op, pulling from the source when needed; nullptr
+  /// once the rank's script is exhausted.
+  [[nodiscard]] Op* fetch_op(JobRun* run, std::int32_t rank);
+  /// Marks the rank's current op consumed (legacy: pc++; source: drop the
+  /// held op so the next fetch pulls).
+  void consume_op(NodeRun& nr);
 
   ipsc::Machine* machine_;
   cfs::Runtime* runtime_;
   trace::Collector* collector_;
   const GeneratedWorkload* workload_;
+  Source* source_ = nullptr;  // null in legacy mode
   SubcubeAllocator allocator_;
   std::deque<std::size_t> pending_;  // spec indices waiting for nodes
   std::vector<JobResult> results_;

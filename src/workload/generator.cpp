@@ -34,6 +34,24 @@ const char* to_string(Archetype a) noexcept {
   return "?";
 }
 
+bool archetype_from_string(std::string_view name, Archetype* out) noexcept {
+  static constexpr Archetype kAll[] = {
+      Archetype::kBroadcastRead, Archetype::kCfdSolver,
+      Archetype::kSlabRead,      Archetype::kCheckpointWrite,
+      Archetype::kSingleDump,    Archetype::kRwUpdate,
+      Archetype::kTempFile,      Archetype::kPostprocess,
+      Archetype::kQuadTool,      Archetype::kSharedPointer,
+      Archetype::kStatusCheck,   Archetype::kSystem,
+  };
+  for (const Archetype a : kAll) {
+    if (name == to_string(a)) {
+      if (out != nullptr) *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
 WorkloadConfig WorkloadConfig::nas_1993() { return WorkloadConfig{}; }
 
 WorkloadConfig WorkloadConfig::smoke() {

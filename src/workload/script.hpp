@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cfs/types.hpp"
@@ -28,6 +29,7 @@ enum class OpKind : std::uint8_t {
   kUnlink,   // path_index
   kThink,    // think_time only: compute between I/O phases
   kBarrier,  // wait until every node of the job reaches its next barrier
+  kEnd,      // sentinel: a workload::Source rank has no further operations
 };
 
 struct Op {
@@ -74,6 +76,11 @@ enum class Archetype : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(Archetype a) noexcept;
+
+/// Inverse of to_string; false when `name` matches no archetype (the replay
+/// log reader surfaces that as a format error rather than guessing).
+[[nodiscard]] bool archetype_from_string(std::string_view name,
+                                         Archetype* out) noexcept;
 
 /// Scale-free parameters an archetype instance was drawn with.  Field use
 /// varies by archetype; see generator.cpp.

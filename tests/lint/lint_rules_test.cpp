@@ -380,6 +380,7 @@ TEST(LintLayering, ClassifyKnowsEveryTree) {
   EXPECT_EQ(classify_path("bench/perf_study.cpp").module, "bench");
   EXPECT_EQ(classify_path("tools/charisma_lint.cpp").module, "tools");
   EXPECT_TRUE(classify_path("tests/lint/data/bad_layering.cpp").lint_fixture);
+  EXPECT_TRUE(classify_path("tests/workload/data/torn.chwl").lint_fixture);
   // Fixtures are never scanned, whatever hazards they hold.
   EXPECT_TRUE(scan_source("tests/lint/data/bad_layering.cpp",
                           "float f = rand();\n",

@@ -25,7 +25,12 @@ struct CollectSink final : RecordSink {
 class SpillTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "charisma_spill.chtr";
+  // Per-test name: ctest runs every test as its own concurrent process,
+  // so a shared fixed path races across cases.
+  std::string path_ =
+      ::testing::TempDir() + "charisma_spill_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".chtr";
 
   static TraceFile sample(int blocks) {
     TraceFile t;

@@ -11,7 +11,12 @@ namespace {
 class TraceFileTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "charisma_trace_test.chtr";
+  // Per-test name: ctest runs every test as its own concurrent process,
+  // so a shared fixed path races across cases.
+  std::string path_ =
+      ::testing::TempDir() + "charisma_trace_test_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".chtr";
 
   static TraceFile sample() {
     TraceFile t;

@@ -16,13 +16,24 @@
 //   charisma_analyze <trace.chtr> [--report=<section>] [--cache=<sim>]
 //                    [--buffers=N] [--policy=lru|fifo|ip] [--strided]
 //                    [--trace-mode=streaming|materialized]
+//   charisma_analyze --workload=synthetic|replay:<chwl>|checkpoint
+//                    [--scale=S] [--seed=N] [--engine-threads=N]
+//                    [--chkpoint-*=...] [same analysis flags]
+//   charisma_analyze --workload=... --dump-workload=<out.chwl>
 //
 //   --report:  all (default), jobs, nodes, population, files-per-job,
 //              sizes, requests, sequentiality, intervals, regularity,
 //              modes, sharing, paper (measured-vs-published deltas per
 //              figure, with the fidelity tolerance bands)
 //   --cache:   io | compute | combined  (trace-driven cache simulation)
+//   --workload: instead of reading a saved trace, run a full study from the
+//              named workload source and analyze its trace — so a replayed
+//              chwl log (or the checkpoint archetype) gets the complete
+//              paper-figure report end to end
+//   --dump-workload: export the selected source's op stream as a chwl v1
+//              text log (see workload/replay.hpp for the schema) and exit
 #include <cstdio>
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -37,6 +48,8 @@
 #include "trace/postprocess.hpp"
 #include "trace/spill.hpp"
 #include "util/flags.hpp"
+#include "workload/replay.hpp"
+#include "workload/source.hpp"
 
 using namespace charisma;
 
@@ -47,17 +60,62 @@ int usage() {
                "usage: charisma_analyze <trace.chtr> [--report=SECTION] "
                "[--cache=io|compute|combined] [--buffers=N] "
                "[--policy=lru|fifo|ip] [--strided] "
-               "[--trace-mode=streaming|materialized]\n");
+               "[--trace-mode=streaming|materialized]\n"
+               "       charisma_analyze --workload=synthetic|replay:<chwl>|"
+               "checkpoint [--scale=S] [--seed=N] [--engine-threads=N] "
+               "[--chkpoint-*=...] [analysis flags]\n"
+               "       charisma_analyze --workload=... "
+               "--dump-workload=<out.chwl>\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv, {"report", "cache", "buffers", "policy",
-                                 "strided", "trace-mode"});
-  if (flags.remaining_argc() < 2) return usage();
-  const std::string path = flags.remaining()[1];
+  std::vector<std::string> known{"report",   "cache",         "buffers",
+                                 "policy",   "strided",       "trace-mode",
+                                 "workload", "dump-workload", "scale",
+                                 "seed",     "engine-threads"};
+  for (const auto& name : workload::checkpoint_flag_names()) {
+    known.push_back(name);
+  }
+  util::Flags flags(argc, argv, known);
+
+  // Workload-source modes share one config: --scale/--seed/--chkpoint-*
+  // apply on top of the NAS defaults.
+  workload::WorkloadConfig wconfig;
+  wconfig.scale = flags.get_double("scale", wconfig.scale);
+  wconfig.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(wconfig.seed)));
+  workload::apply_checkpoint_flags(flags, &wconfig);
+  const workload::SourceSpec source_spec =
+      workload::parse_source_spec(flags.get("workload", "synthetic"));
+
+  if (flags.has("dump-workload")) {
+    // Export-only mode: write the source's op stream as a chwl log.
+    const std::string out_path = flags.get("dump-workload", "");
+    if (!flags.has("workload") || out_path.empty()) return usage();
+    try {
+      const auto source = workload::load_source(source_spec, wconfig);
+      workload::export_source_log(*source, out_path);
+      std::printf("dumped workload '%s' (%zu jobs, %zu input files) to %s\n",
+                  workload::to_string(source_spec).c_str(),
+                  source->workload().jobs.size(),
+                  source->workload().inputs.size(), out_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot dump workload: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Exactly one trace origin: a saved trace file, or a study run live from
+  // a workload source.
+  const bool study_mode = flags.has("workload");
+  if (study_mode ? flags.remaining_argc() != 1 : flags.remaining_argc() < 2) {
+    return usage();
+  }
+  const std::string path = study_mode ? "" : flags.remaining()[1];
   const core::TraceMode mode =
       core::parse_trace_mode(flags.get("trace-mode", "streaming"));
   const std::string report = flags.get("report", "all");
@@ -76,7 +134,30 @@ int main(int argc, char** argv) {
   std::optional<cache::ReplayOpSpill> ops;   // streaming mode only
 
   try {
-    if (mode == core::TraceMode::kStreaming) {
+    if (study_mode) {
+      core::StudyConfig config;
+      config.workload = wconfig;
+      config.source = source_spec;
+      config.engine_threads =
+          static_cast<int>(flags.get_int("engine-threads", 1));
+      if (mode == core::TraceMode::kStreaming) {
+        core::StreamOptions sopts;
+        sopts.collect_replay_ops = want_ops;
+        core::StreamedStudyOutput out = core::run_streamed_study(config, sopts);
+        header = out.header;
+        record_count = out.records;
+        store = std::move(out.sessions);
+        requests = std::move(out.request_sizes);
+        if (want_ops) ops = std::move(out.replay_ops);
+      } else {
+        core::StudyOutput out = core::run_study(config);
+        header = out.raw.header;
+        record_count = out.raw.record_count();
+        sorted = std::move(out.sorted);
+        store = analysis::SessionStore(*sorted);
+        requests = analysis::analyze_request_sizes(*sorted);
+      }
+    } else if (mode == core::TraceMode::kStreaming) {
       bool truncated = false;
       const trace::SpilledTrace spilled =
           trace::SpilledTrace::open(path, /*tolerant=*/true, &truncated);
@@ -110,7 +191,11 @@ int main(int argc, char** argv) {
       requests = analysis::analyze_request_sizes(*sorted);
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), e.what());
+    std::fprintf(stderr, "cannot %s %s: %s\n",
+                 study_mode ? "run workload" : "read",
+                 study_mode ? workload::to_string(source_spec).c_str()
+                            : path.c_str(),
+                 e.what());
     return 1;
   }
   std::printf("trace '%s': %llu records from %d compute / %d I/O nodes\n",

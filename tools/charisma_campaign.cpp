@@ -4,10 +4,15 @@
 //
 //   charisma_campaign [--seeds=42,43,44] [--scales=0.2] [--threads=N]
 //                     [--queue=bucketed|heap] [--smoke] [--figures=0|1]
+//                     [--workload=synthetic|replay:<path>|checkpoint]
 //                     [--out=DIR]
 //
 //   --seeds:   comma-separated workload seeds (default 42,43,44,45)
 //   --scales:  comma-separated workload scales (default 0.2)
+//   --workload: workload source behind the generator seam (default
+//              synthetic; replay:<chwl path> replays a logged workload,
+//              checkpoint runs the Daly-interval checkpoint archetype with
+//              the --chkpoint-size/bw/runtime/mtti/nodes/chunk knobs)
 //   --threads: campaign worker threads; 0 = hardware concurrency,
 //              1 = serial (default 0)
 //   --engine-threads: threads per study's event engine (default 1 = serial;
@@ -38,6 +43,7 @@
 #include "core/campaign.hpp"
 #include "core/export.hpp"
 #include "util/flags.hpp"
+#include "workload/source.hpp"
 
 using namespace charisma;
 
@@ -64,16 +70,22 @@ int usage() {
   std::fprintf(stderr,
                "usage: charisma_campaign [--seeds=42,43] [--scales=0.2] "
                "[--threads=N] [--engine-threads=N] [--queue=bucketed|heap] "
-               "[--smoke] [--figures=0|1] [--progress] [--out=DIR]\n");
+               "[--smoke] [--figures=0|1] [--progress] "
+               "[--workload=synthetic|replay:<path>|checkpoint] "
+               "[--chkpoint-*=...] [--out=DIR]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv,
-                    {"seeds", "scales", "threads", "engine-threads", "queue",
-                     "smoke", "figures", "progress", "out"});
+  std::vector<std::string> known{"seeds",   "scales",   "threads",
+                                 "engine-threads", "queue", "smoke",
+                                 "figures", "progress", "workload", "out"};
+  for (const auto& name : workload::checkpoint_flag_names()) {
+    known.push_back(name);
+  }
+  util::Flags flags(argc, argv, known);
   if (flags.remaining_argc() > 1) return usage();
 
   std::vector<std::uint64_t> seeds;
@@ -100,6 +112,8 @@ int main(int argc, char** argv) {
   }
   base.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
   if (base.engine_threads < 1) return usage();
+  base.source = workload::parse_source_spec(flags.get("workload", "synthetic"));
+  workload::apply_checkpoint_flags(flags, &base.workload);
 
   const auto studies = core::scale_sweep(base, scales, seeds);
   core::CampaignOptions options;

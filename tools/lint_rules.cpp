@@ -1037,7 +1037,10 @@ FileClass classify_path(std::string_view path) {
                            p.find("report") != std::string::npos ||
                            p.find("export") != std::string::npos ||
                            p.find("postprocess") != std::string::npos;
-  cls.lint_fixture = p.find("tests/lint/data") != std::string::npos;
+  // Deliberately malformed golden inputs (lint rule fixtures, chwl replay
+  // fixtures) are exempt from every rule: their badness is the test.
+  cls.lint_fixture = p.find("tests/lint/data") != std::string::npos ||
+                     p.find("tests/workload/data") != std::string::npos;
   cls.trace_reference = p.find("/trace/") != std::string::npos ||
                         p.rfind("trace/", 0) == 0 ||
                         p.find("tests/") != std::string::npos;
