@@ -2,25 +2,35 @@
 //
 // Cache sweeps are the one trace consumer that needs *multiple* passes, so a
 // single push-based sink cannot feed them.  Instead, the streaming pipeline
-// spills the pre-filtered replay ops (ReplayOpSink, a RecordSink) to a
-// private temp file during the one postprocessing merge, and ReplayLog
-// replays that file chunk-by-chunk per pass — each traversal opens its own
-// stream, so parallel sweep passes stay safe, and resident memory per pass
-// is one fixed-size chunk instead of the op vector.
+// spills the pre-filtered replay ops (ReplayOpSink, a RecordSink) during the
+// one postprocessing merge, and ReplayLog replays them chunk-by-chunk per
+// pass — each traversal opens its own stream, so parallel sweep passes stay
+// safe, and resident memory per pass is one fixed-size chunk instead of the
+// op vector.
+//
+// Ops are stored varint/delta-encoded (3-4 bytes per op instead of the raw
+// struct's 40): streams are bursty per (job, file) session and heavily
+// sequential within a session, so a tag byte plus zigzag-LEB128 deltas
+// captures most ops outright.  Chunks are self-contained (the predictor
+// resets per chunk) and land in a memory tier charged against the study's
+// shared trace::SpillBudget, overflowing — stickily, like the trace spill —
+// to an anonymous temp file.  Sweeps re-read the ops once per pass (4x at
+// current plans), so compactness pays on every pass.
 //
 // The read-only-session flag cannot be known while spilling (sessions finish
-// only after the last record), so ops are spilled without it and the flag is
+// only after the last record), so ops are encoded without it and the flag is
 // resolved during traversal with the same per-(job, file) memoized set
-// lookup prepare_replay uses — the streams are identical record for record.
+// lookup prepare_replay uses — the streams are identical op for op.
 //
 // ReplayLog also wraps a plain in-memory op vector (the materialized
 // reference path), so every simulator below it has exactly one op-source
 // type and the two trace modes cannot drift.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -53,74 +63,119 @@ struct ReplayOp {
   bool read_only_session = false;
 };
 
+// Tag-byte bits of the compact op encoding.  Unset "same"/"sequential" bits
+// mean the corresponding zigzag-LEB128 delta varint follows, in tag-bit
+// order: job+file (session), node, offset (vs. the previous op's end), bytes.
+inline constexpr std::uint8_t kTagIsRead = 1u << 0;
+inline constexpr std::uint8_t kTagSameSession = 1u << 1;
+inline constexpr std::uint8_t kTagSequential = 1u << 2;
+inline constexpr std::uint8_t kTagSameBytes = 1u << 3;
+inline constexpr std::uint8_t kTagSameNode = 1u << 4;
+
+/// Appends the compact encoding of ops[0..n) to `out`.  Self-contained: the
+/// delta predictor starts from a fixed state, so a chunk decodes without any
+/// earlier chunk.  read_only_session is not encoded.
+void encode_ops(const ReplayOp* ops, std::size_t n,
+                std::vector<std::uint8_t>& out);
+
+/// Decodes exactly `n` ops from data[0..size) into out[0..n); returns the
+/// bytes consumed.  Decoded ops carry read_only_session == false.  Throws
+/// std::runtime_error on truncated or malformed input.
+std::size_t decode_ops(const std::uint8_t* data, std::size_t size,
+                       std::size_t n, ReplayOp* out);
+
 }  // namespace detail
 
-/// A finished on-disk op spill: raw detail::ReplayOp frames, written and
-/// read back by the same binary within one run.  Owns (and deletes) the
-/// backing file.  The read_only_session field in the frames is unresolved.
+/// One encoded chunk resident in the memory tier.
+struct ReplayOpChunk {
+  std::uint32_t count = 0;           ///< ops in this chunk (≤ kChunkOps)
+  std::vector<std::uint8_t> bytes;   ///< detail::encode_ops payload
+};
+
+/// A finished op spill: encoded chunks in the memory tier (a prefix of the
+/// stream) and/or `[u32 count][u32 payload_len][payload]` frames in an
+/// anonymous temp file (deleted with this object).  Op flags are unresolved.
 class ReplayOpSpill {
  public:
   ReplayOpSpill() = default;
-  ReplayOpSpill(std::string path, std::uint64_t count)
-      : path_(std::move(path)), count_(count), owns_file_(true) {}
-  ReplayOpSpill(ReplayOpSpill&& other) noexcept
-      : path_(std::move(other.path_)),
-        count_(other.count_),
-        owns_file_(std::exchange(other.owns_file_, false)) {
-    other.path_.clear();
-    other.count_ = 0;
-  }
-  ReplayOpSpill& operator=(ReplayOpSpill&& other) noexcept {
-    if (this != &other) {
-      remove_backing_file();
-      path_ = std::move(other.path_);
-      count_ = other.count_;
-      owns_file_ = std::exchange(other.owns_file_, false);
-      other.path_.clear();
-      other.count_ = 0;
-    }
-    return *this;
-  }
+  ReplayOpSpill(ReplayOpSpill&&) noexcept = default;
+  ReplayOpSpill& operator=(ReplayOpSpill&&) noexcept = default;
   ReplayOpSpill(const ReplayOpSpill&) = delete;
   ReplayOpSpill& operator=(const ReplayOpSpill&) = delete;
-  ~ReplayOpSpill() { remove_backing_file(); }
+  ~ReplayOpSpill() = default;
 
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] const std::vector<ReplayOpChunk>& mem_chunks() const noexcept {
+    return mem_chunks_;
+  }
+  [[nodiscard]] std::uint64_t disk_chunks() const noexcept {
+    return disk_chunks_;
+  }
+  /// Read path of the overflow file; empty when everything fit in memory.
+  [[nodiscard]] const std::string& path() const noexcept {
+    return file_.read_path();
+  }
+  /// Host ms the sink spent blocked in write(2) for overflow frames.
+  [[nodiscard]] double write_ms() const noexcept { return write_ms_; }
+  [[nodiscard]] std::int64_t disk_bytes() const noexcept {
+    return disk_bytes_;
+  }
+  /// True when the sink's budget also admitted the *decoded* flat op array
+  /// (count() × sizeof ReplayOp), reserved at finish() while the pool was
+  /// alive.  ReplayLog then decodes once at construction and traversals
+  /// skip per-pass chunk decoding; the expansion stays inside the study's
+  /// RSS bound because it was charged to the same pool.
+  [[nodiscard]] bool decode_resident() const noexcept {
+    return decode_resident_;
+  }
 
  private:
-  void remove_backing_file() noexcept {
-    if (owns_file_ && !path_.empty()) std::remove(path_.c_str());
-    owns_file_ = false;
-  }
-  std::string path_;
+  friend class ReplayOpSink;
+  std::vector<ReplayOpChunk> mem_chunks_;
+  trace::SpillFile file_;
   std::uint64_t count_ = 0;
-  bool owns_file_ = false;
+  std::uint64_t disk_chunks_ = 0;
+  double write_ms_ = 0.0;
+  std::int64_t disk_bytes_ = 0;
+  bool decode_resident_ = false;
+};
+
+struct ReplayOpSinkOptions {
+  /// Admission pool for the memory tier, shared with the trace spill writer;
+  /// borrowed, must outlive the sink.  Null sends every chunk to disk.
+  trace::SpillBudget* budget = nullptr;
+  /// Directory for the anonymous overflow file ("" = $TMPDIR, then /tmp).
+  std::string dir;
 };
 
 /// RecordSink that filters the postprocessed stream down to replayable data
-/// requests and spills them as raw frames.  finish() hands out the spill.
+/// requests and spills them as compact encoded chunks.  finish() hands out
+/// the spill.
 class ReplayOpSink final : public trace::RecordSink {
  public:
-  explicit ReplayOpSink(std::string path);
+  explicit ReplayOpSink(ReplayOpSinkOptions options = {});
   void on_record(const trace::Record& r) override;
   [[nodiscard]] ReplayOpSpill finish();
 
  private:
   void flush_buffer();
 
-  std::string path_;
-  std::ofstream out_;
+  ReplayOpSinkOptions options_;
+  ReplayOpSpill spill_;
   std::vector<detail::ReplayOp> buf_;
-  std::uint64_t count_ = 0;
+  bool overflowed_ = false;  // sticky, like the trace spill's memory tier
+  bool file_created_ = false;
   bool finished_ = false;
 };
 
 /// The sweeps' one op-source type: either a borrowed/owned in-memory op
 /// vector (flags already resolved — the materialized reference path) or an
-/// owned op spill replayed from disk with flags resolved per traversal.
-/// Traversals are const and open private streams, so concurrent passes from
-/// pool workers are safe in both modes.
+/// owned op spill decoded chunk-by-chunk.  Spill-mode read-only flags are
+/// resolved once, at construction, into a per-op bit array (the same
+/// bake-once semantics prepare_replay gives the materialized path), so
+/// traversals pay no session lookups.  Traversals are const and open
+/// private streams, so concurrent passes from pool workers are safe in
+/// both modes.
 class ReplayLog {
  public:
   /// Ops streamed to traversal callbacks per chunk; bounds file-mode
@@ -131,14 +186,51 @@ class ReplayLog {
   /// In-memory log; `ops` must carry resolved read_only_session flags.
   explicit ReplayLog(std::vector<detail::ReplayOp> ops)
       : ops_(std::move(ops)) {}
-  /// File-backed log.  `read_only` is borrowed and must outlive the log; it
-  /// resolves each op's read_only_session flag during traversal.
+  /// Spill-backed log.  `read_only` is consumed here: one decode pass at
+  /// construction resolves every op's read_only_session flag, so the set
+  /// need not outlive the log.  When the spill's budget admitted the
+  /// decoded array (decode_resident()), that pass lands the flat resolved
+  /// ops and traversals run in in-memory mode; otherwise it fills a
+  /// 1-bit-per-op flag array and traversals re-decode chunks.
   ReplayLog(ReplayOpSpill spill, const std::set<SessionKey>& read_only)
-      : spill_(std::move(spill)), read_only_(&read_only), file_mode_(true) {}
+      : spill_(std::move(spill)),
+        file_mode_(true),
+        bytes_read_(std::make_unique<std::atomic<std::int64_t>>(0)) {
+    if (spill_.decode_resident()) {
+      ops_.reserve(static_cast<std::size_t>(spill_.count()));
+      SessionKey last_key{cfs::kNoJob, cfs::kNoFile};
+      bool last_read_only = false;
+      for_each_decoded_chunk([&](detail::ReplayOp* ops, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+          detail::ReplayOp op = ops[i];
+          const SessionKey key{op.job, op.file};
+          if (key != last_key) {
+            last_key = key;
+            last_read_only = read_only.find(key) != read_only.end();
+          }
+          op.read_only_session = last_read_only;
+          ops_.push_back(op);
+        }
+      });
+      spill_ = ReplayOpSpill();  // drop the encoded tier; ops_ is the log
+      file_mode_ = false;
+      return;
+    }
+    resolve_read_only(read_only);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept {
     return file_mode_ ? static_cast<std::size_t>(spill_.count())
                       : ops_.size();
+  }
+
+  /// Disk bytes read back from the overflow file so far — the construction
+  /// flag pass plus every traversal (thread-safe; zero for in-memory logs
+  /// and all-resident spills).
+  [[nodiscard]] std::int64_t spill_bytes_read() const noexcept {
+    return bytes_read_ != nullptr
+               ? bytes_read_->load(std::memory_order_relaxed)
+               : 0;
   }
 
   /// Calls f(const detail::ReplayOp*, std::size_t) for successive chunks of
@@ -152,38 +244,16 @@ class ReplayLog {
       }
       return;
     }
-    std::ifstream in(spill_.path(), std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("cannot open replay spill: " + spill_.path());
-    }
-    std::vector<detail::ReplayOp> buf(
-        std::min<std::size_t>(kChunkOps,
-                              static_cast<std::size_t>(spill_.count())));
-    // Per-traversal memo, same semantics as prepare_replay: ops arrive in
-    // bursts for one (job, file), so one set lookup covers the run.
-    SessionKey last_key{cfs::kNoJob, cfs::kNoFile};
-    bool last_read_only = false;
-    std::uint64_t remaining = spill_.count();
-    while (remaining > 0) {
-      const auto n = static_cast<std::size_t>(
-          std::min<std::uint64_t>(kChunkOps, remaining));
-      in.read(reinterpret_cast<char*>(buf.data()),
-              static_cast<std::streamsize>(n * sizeof(detail::ReplayOp)));
-      CHECK(static_cast<std::size_t>(in.gcount()) ==
-                n * sizeof(detail::ReplayOp),
-            "replay spill truncated: ", spill_.path());
+    std::uint64_t base = 0;
+    for_each_decoded_chunk([&](detail::ReplayOp* ops, std::size_t n) {
       for (std::size_t i = 0; i < n; ++i) {
-        detail::ReplayOp& op = buf[i];
-        const SessionKey key{op.job, op.file};
-        if (key != last_key) {
-          last_key = key;
-          last_read_only = read_only_->find(key) != read_only_->end();
-        }
-        op.read_only_session = last_read_only;
+        const std::uint64_t bit = base + i;
+        ops[i].read_only_session =
+            (read_only_bits_[bit >> 6] >> (bit & 63)) & 1;
       }
-      f(static_cast<const detail::ReplayOp*>(buf.data()), n);
-      remaining -= n;
-    }
+      f(static_cast<const detail::ReplayOp*>(ops), n);
+      base += n;
+    });
   }
 
   /// Calls f(const detail::ReplayOp&) for every op in stream order.
@@ -195,10 +265,89 @@ class ReplayLog {
   }
 
  private:
+  /// Decodes every chunk (memory tier, then the disk tail) into a private
+  /// buffer and yields f(detail::ReplayOp*, n) in stream order, flags
+  /// unresolved.  Const and reentrant: each call opens its own stream.
+  template <typename F>
+  void for_each_decoded_chunk(F&& f) const {
+    if (spill_.count() == 0) return;
+    std::vector<detail::ReplayOp> buf(
+        std::min<std::size_t>(kChunkOps,
+                              static_cast<std::size_t>(spill_.count())));
+    std::uint64_t remaining = spill_.count();
+    const auto emit = [&](std::size_t n) {
+      CHECK(n <= remaining, "replay spill overruns its declared op count");
+      f(buf.data(), n);
+      remaining -= n;
+    };
+    for (const auto& chunk : spill_.mem_chunks()) {
+      CHECK(chunk.count <= buf.size(), "replay op chunk too large");
+      const std::size_t used = detail::decode_ops(
+          chunk.bytes.data(), chunk.bytes.size(), chunk.count, buf.data());
+      CHECK(used == chunk.bytes.size(),
+            "replay op chunk has trailing bytes");
+      emit(chunk.count);
+    }
+    if (spill_.disk_chunks() > 0) {
+      std::ifstream in(spill_.path(), std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("cannot open replay spill: " +
+                                 spill_.path());
+      }
+      std::vector<std::uint8_t> payload;
+      for (std::uint64_t c = 0; c < spill_.disk_chunks(); ++c) {
+        std::uint32_t count = 0;
+        std::uint32_t len = 0;
+        in.read(reinterpret_cast<char*>(&count), sizeof count);
+        in.read(reinterpret_cast<char*>(&len), sizeof len);
+        CHECK(in.good(), "replay spill truncated: ", spill_.path());
+        CHECK(count <= buf.size(), "replay op chunk too large");
+        payload.resize(len);
+        in.read(reinterpret_cast<char*>(payload.data()),
+                static_cast<std::streamsize>(len));
+        CHECK(static_cast<std::uint32_t>(in.gcount()) == len,
+              "replay spill truncated: ", spill_.path());
+        const std::size_t used =
+            detail::decode_ops(payload.data(), len, count, buf.data());
+        CHECK(used == len, "replay op chunk has trailing bytes");
+        bytes_read_->fetch_add(
+            static_cast<std::int64_t>(sizeof count + sizeof len + len),
+            std::memory_order_relaxed);
+        emit(count);
+      }
+    }
+    CHECK(remaining == 0, "replay spill ended short of its declared count");
+  }
+
+  /// One decode pass at construction: memoized set lookups (ops arrive in
+  /// bursts for one (job, file), so one lookup covers the run — the memo
+  /// survives chunk boundaries even though the decode predictor resets)
+  /// fill a 1-bit-per-op array every traversal then reads for free.
+  void resolve_read_only(const std::set<SessionKey>& read_only) {
+    read_only_bits_.assign(
+        static_cast<std::size_t>((spill_.count() + 63) / 64), 0);
+    SessionKey last_key{cfs::kNoJob, cfs::kNoFile};
+    bool last_read_only = false;
+    std::uint64_t bit = 0;
+    for_each_decoded_chunk([&](detail::ReplayOp* ops, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i, ++bit) {
+        const SessionKey key{ops[i].job, ops[i].file};
+        if (key != last_key) {
+          last_key = key;
+          last_read_only = read_only.find(key) != read_only.end();
+        }
+        if (last_read_only) read_only_bits_[bit >> 6] |= 1ull << (bit & 63);
+      }
+    });
+  }
+
   std::vector<detail::ReplayOp> ops_;  // in-memory mode
-  ReplayOpSpill spill_;                // file mode
-  const std::set<SessionKey>* read_only_ = nullptr;
+  ReplayOpSpill spill_;                // spill mode
+  /// 1 bit per op (spill mode): the read_only_session flags, baked once.
+  std::vector<std::uint64_t> read_only_bits_;
   bool file_mode_ = false;
+  // unique_ptr keeps the log movable; only traversals of disk chunks touch it.
+  std::unique_ptr<std::atomic<std::int64_t>> bytes_read_;
 };
 
 }  // namespace charisma::cache

@@ -272,6 +272,12 @@ class SweepRunner {
     return log_.size();
   }
 
+  /// Disk bytes sweep passes have read back from the op spill's overflow
+  /// file so far (zero for materialized runners and all-resident spills).
+  [[nodiscard]] std::int64_t spill_bytes_read() const noexcept {
+    return log_.spill_bytes_read();
+  }
+
   /// Total trace passes this runner has executed across every run_compute /
   /// run_io call — the cost ledger the grouped-mode speedup claims rest on
   /// (kGrouped must replay fewer passes than kPerConfig for the same

@@ -249,6 +249,7 @@ CampaignResult CampaignRunner::run(
       StreamOptions sopts;
       sopts.spill_dir = options_.spill_dir;
       sopts.collect_replay_ops = options_.collect_figures;
+      sopts.spill_budget_mb = options_.spill_budget_mb;
       StreamedStudyOutput output = run_streamed_study(study.config, sopts);
       result.studies[i] =
           summarize_streamed_study(study.label, study.config,

@@ -90,6 +90,12 @@ struct CampaignOptions {
   TraceMode trace_mode = TraceMode::kStreaming;
   /// Spill directory for streaming-mode studies (see StreamOptions).
   std::string spill_dir{};
+  /// Memory-tier budget override in MiB for streaming-mode studies;
+  /// negative defers to each study's StudyConfig::spill_budget_mb.  Note
+  /// the pool is per *study*: campaign workers each hold their own budget,
+  /// so campaign RSS scales with `threads` × the budget when studies
+  /// overflow it.
+  std::int64_t spill_budget_mb = -1;
   /// Sample the per-figure curves for every study and fold envelope bands.
   /// Off saves the analyzer + cache-replay passes for pure-throughput runs.
   bool collect_figures = true;

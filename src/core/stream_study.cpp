@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace charisma::core {
 
@@ -45,7 +46,20 @@ StreamedStudyOutput run_streamed_study(const StudyConfig& config,
   // The spill header is written up front, so the annotation run_study
   // applies after the fact must be final before the first block lands.
   collector.annotate(config.workload.seed, kStudyTraceLabel);
-  collector.start_spilling(spill_file_path(options.spill_dir, "trace"));
+  // One shared memory-tier pool for both spills (trace blocks and replay-op
+  // chunks): reservations are never returned, so peak RSS is bounded by the
+  // streaming window plus this budget no matter how the two spills split it.
+  const std::int64_t budget_mb = options.spill_budget_mb >= 0
+                                     ? options.spill_budget_mb
+                                     : config.spill_budget_mb;
+  const std::string& spill_dir =
+      !options.spill_dir.empty() ? options.spill_dir : config.spill_dir;
+  trace::SpillBudget budget(budget_mb * (std::int64_t{1} << 20));
+  trace::SpillWriterOptions wopts;
+  wopts.budget = &budget;
+  wopts.async = options.async_spill;
+  collector.start_spilling(trace::SpillTarget::anonymous_in(spill_dir),
+                           wopts);
 
   StreamedStudyOutput out;
   // Same source dispatch as run_study; the seam sits exactly where the
@@ -80,26 +94,58 @@ StreamedStudyOutput run_streamed_study(const StudyConfig& config,
 
   const trace::SpilledTrace spilled = collector.take_spilled();
   out.header = spilled.header;
+  util::Stopwatch digest_sw;
   out.trace_digest = spilled.digest();
+  const double digest_ms = digest_sw.elapsed_ms();
 
   // One merge pass feeds every consumer; per-sink state is bounded
   // (sessions, histograms, a timeline, one op chunk), never the trace.
   analysis::SessionAccumulator sessions(options.track_coverage);
-  analysis::RequestSizeAccumulator request_sizes;
-  analysis::IoRateAccumulator io_rate(out.header.trace_start,
-                                      out.header.trace_end);
+  std::optional<analysis::RequestSizeAccumulator> request_sizes;
+  std::optional<analysis::IoRateAccumulator> io_rate;
   std::optional<cache::ReplayOpSink> ops;
-  std::vector<trace::RecordSink*> sinks{&sessions, &request_sizes, &io_rate};
+  std::vector<trace::RecordSink*> sinks{&sessions};
+  if (options.collect_rate_figures) {
+    request_sizes.emplace();
+    io_rate.emplace(out.header.trace_start, out.header.trace_end);
+    sinks.push_back(&*request_sizes);
+    sinks.push_back(&*io_rate);
+  }
   if (options.collect_replay_ops) {
-    ops.emplace(spill_file_path(options.spill_dir, "ops"));
+    cache::ReplayOpSinkOptions oopts;
+    oopts.budget = &budget;
+    oopts.dir = spill_dir;
+    ops.emplace(std::move(oopts));
     sinks.push_back(&*ops);
   }
-  out.streamed_records = trace::stream_postprocess(spilled, sinks);
+  trace::StreamMergeStats merge_stats;
+  trace::StreamMergeOptions mopts;
+  mopts.prefetch = options.prefetch;
+  mopts.stats = &merge_stats;
+  out.streamed_records = trace::stream_postprocess(spilled, sinks, mopts);
 
   out.sessions = sessions.take(out.header);
-  out.request_sizes = request_sizes.finish();
-  out.io_rate = io_rate.finish();
+  if (request_sizes.has_value()) out.request_sizes = request_sizes->finish();
+  if (io_rate.has_value()) out.io_rate = io_rate->finish();
   if (ops.has_value()) out.replay_ops = ops->finish();
+
+  const trace::SpillWriterStats& wstats = spilled.write_stats();
+  out.spill.spill_write_ms = wstats.write_ms + out.replay_ops.write_ms();
+  out.spill.spill_read_ms = merge_stats.read_ms;
+  out.spill.digest_ms = digest_ms;
+  out.spill.sink_ms = merge_stats.sink_ms;
+  out.spill.append_stall_ms = wstats.append_stall_ms;
+  out.spill.spill_bytes_written =
+      wstats.disk_bytes + out.replay_ops.disk_bytes();
+  // digest() re-reads every disk payload byte once; the merge's disk reads
+  // come on top.  Sweep-pass re-reads accrue later via SweepRunner.
+  out.spill.spill_bytes_read =
+      spilled.disk_payload_bytes() + merge_stats.disk_bytes_read;
+  out.spill.trace_blocks_in_memory = wstats.mem_blocks;
+  out.spill.trace_blocks_on_disk = wstats.disk_blocks;
+  out.spill.ops_chunks_in_memory = out.replay_ops.mem_chunks().size();
+  out.spill.ops_chunks_on_disk = out.replay_ops.disk_chunks();
+  out.spill.spill_budget_mb = budget_mb;
   return out;  // `spilled` unlinks the raw-trace spill here
 }
 

@@ -27,14 +27,57 @@
 namespace charisma::core {
 
 struct StreamOptions {
-  /// Directory for the two spill files (raw trace blocks, replay ops).
-  /// Empty picks $TMPDIR, falling back to /tmp.
+  /// Directory for the two spills (raw trace blocks, replay ops).  Non-empty
+  /// overrides StudyConfig::spill_dir; empty defers to it (and then to
+  /// $TMPDIR, falling back to /tmp).
   std::string spill_dir;
   /// Spill the cache sweeps' replay ops during the merge.  Off skips the op
-  /// file entirely (pure-characterization runs that never simulate caches).
+  /// spill entirely (pure-characterization runs that never simulate caches).
   bool collect_replay_ops = true;
   /// Forwarded to the session detector (sharing analysis needs it).
   bool track_coverage = true;
+  /// Run the request-size and I/O-rate accumulators during the merge.  Off
+  /// skips them (and leaves the result fields empty) for callers that only
+  /// need sessions + replay ops — the materialized study never computes
+  /// them, so perf_study turns this off to keep the mode comparison fair.
+  bool collect_rate_figures = true;
+  /// Write overflow trace blocks from a background writer thread (bounded
+  /// queue), so the simulation never blocks on write(2).  Bit-identical
+  /// bytes either way; only the timing attribution moves.
+  bool async_spill = true;
+  /// Background-prefetch the merge's next disk block per node cursor.
+  bool prefetch = true;
+  /// Memory-tier budget override in MiB; negative defers to
+  /// StudyConfig::spill_budget_mb.  0 forces the all-disk behavior.
+  std::int64_t spill_budget_mb = -1;
+};
+
+/// Host-side spill/merge measurements of one streamed study — the streaming
+/// tax, itemized.  All host milliseconds (never simulated time).
+struct SpillTelemetry {
+  /// Blocked in write(2): trace spill (synchronous mode) plus replay-op
+  /// overflow frames.  In async mode the trace writer's (overlapped) thread
+  /// time still lands here; append_stall_ms is what the simulation paid.
+  double spill_write_ms = 0.0;
+  /// Blocked reading spilled data back: the merge's synchronous block loads
+  /// and prefetch waits.  The digest pass is timed separately (digest_ms)
+  /// so both trace modes can report it as its own stage.
+  double spill_read_ms = 0.0;
+  /// The FNV fold over the full trace payload (both tiers).  The
+  /// materialized mode pays the same pass over its TraceFile; perf_study
+  /// times it there too, so the modes' study stages stay comparable.
+  double digest_ms = 0.0;
+  /// Pushing merged record batches through the sinks.
+  double sink_ms = 0.0;
+  /// Host ms append() waited on the async writer's bounded queue.
+  double append_stall_ms = 0.0;
+  std::int64_t spill_bytes_written = 0;
+  std::int64_t spill_bytes_read = 0;
+  std::uint64_t trace_blocks_in_memory = 0;
+  std::uint64_t trace_blocks_on_disk = 0;
+  std::uint64_t ops_chunks_in_memory = 0;
+  std::uint64_t ops_chunks_on_disk = 0;
+  std::int64_t spill_budget_mb = 0;  ///< the budget the run actually used
 };
 
 /// What the streaming study keeps resident: headline counters, the
@@ -48,6 +91,7 @@ struct StreamedStudyOutput {
   std::uint64_t streamed_records = 0;
 
   analysis::SessionStore sessions;
+  /// Default-constructed (empty) when collect_rate_figures was off.
   analysis::RequestSizeResult request_sizes;
   analysis::IoRateResult io_rate;
   /// Unresolved-flag replay ops for SweepRunner; empty when
@@ -68,6 +112,9 @@ struct StreamedStudyOutput {
   util::MicroSec sim_end = 0;
   int engine_threads = 1;
   sim::ShardStats shard_stats;
+
+  /// Spill/merge host-time and tier telemetry for this run.
+  SpillTelemetry spill;
 };
 
 /// Runs the full study in streaming mode.  Deterministic in `config`; the

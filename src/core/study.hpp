@@ -56,6 +56,12 @@ enum class TraceMode : std::uint8_t {
 /// "streaming" | "materialized" -> TraceMode; CHECK-fails on anything else.
 [[nodiscard]] TraceMode parse_trace_mode(const std::string& name);
 
+/// Default StudyConfig::spill_budget_mb: sized so studies up to scale 1.0
+/// (≈310 MB of trace payload plus ≈25 MB of compact replay-op chunks) stay
+/// fully resident — disk is for runs beyond the paper's full scale, or for
+/// explicitly smaller budgets (campaigns dividing RAM across workers).
+inline constexpr std::int64_t kDefaultSpillBudgetMb = 384;
+
 struct StudyConfig {
   workload::WorkloadConfig workload = workload::WorkloadConfig::nas_1993();
   ipsc::MachineConfig machine = ipsc::MachineConfig::nas_ames();
@@ -83,6 +89,16 @@ struct StudyConfig {
   /// workload through the pre-Source materialized-script Driver path
   /// instead of the seam.  Only valid with the synthetic method (CHECK).
   bool legacy_driver = false;
+  /// Streaming mode's memory-tier budget (one pool shared by trace blocks,
+  /// replay-op chunks, and — when it still fits — the sweeps' decoded flat
+  /// op array, which lets small studies replay with zero per-pass decode):
+  /// spilled data stays resident up to this many MiB, only the overflow
+  /// hits disk.  The default keeps every scale ≤ 1.0 study's spilled
+  /// payload in memory; 0 forces the all-disk pre-tier behavior.  Peak RSS
+  /// is bounded by the streaming window plus this budget.
+  std::int64_t spill_budget_mb = kDefaultSpillBudgetMb;
+  /// Streaming mode's spill directory ("" = $TMPDIR, then /tmp).
+  std::string spill_dir;
 };
 
 struct StudyOutput {

@@ -27,11 +27,16 @@ void Collector::annotate(std::uint64_t seed, std::string label) {
   trace_.header.label = std::move(label);
 }
 
-void Collector::start_spilling(const std::string& path) {
+void Collector::start_spilling(const SpillTarget& target,
+                               const SpillWriterOptions& options) {
   CHECK(writer_ == nullptr, "Collector::start_spilling called twice");
   CHECK(trace_.blocks.empty() && records_seen_ == 0,
         "Collector::start_spilling after records were collected");
-  writer_ = std::make_unique<SpillWriter>(path, trace_.header);
+  writer_ = std::make_unique<SpillWriter>(target, trace_.header, options);
+}
+
+void Collector::start_spilling(const std::string& path) {
+  start_spilling(SpillTarget::named(path));
 }
 
 void Collector::commit_block(TraceBlock&& block) {

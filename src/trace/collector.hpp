@@ -39,9 +39,13 @@ class Collector {
   /// up front.  The materialized path may call it any time before take_trace.
   void annotate(std::uint64_t seed, std::string label);
 
-  /// Switches to bounded-memory spilling: every flushed block goes straight
-  /// to `path` in TraceFile's on-disk format and is dropped from memory.
-  /// Must be called before any record arrives; finish with take_spilled().
+  /// Switches to bounded-memory spilling: every flushed block goes to the
+  /// spill writer (memory tier up to the options' budget, disk overflow in
+  /// TraceFile's on-disk format) and is dropped from the collector.  Must be
+  /// called before any record arrives; finish with take_spilled().
+  void start_spilling(const SpillTarget& target,
+                      const SpillWriterOptions& options = {});
+  /// Legacy form: named file, synchronous, no memory tier.
   void start_spilling(const std::string& path);
   [[nodiscard]] bool spilling() const noexcept { return writer_ != nullptr; }
 

@@ -48,14 +48,39 @@ struct SortedTrace {
 /// Full pipeline: fit clocks, correct every record, stable-sort.
 [[nodiscard]] SortedTrace postprocess(const TraceFile& trace);
 
+/// What the streaming merge measured (host time, not simulated time).
+struct StreamMergeStats {
+  /// Host ms the merge was *blocked* on block loads: synchronous reads and
+  /// decodes plus waits for not-yet-finished prefetches.  Overlapped
+  /// prefetch-worker time is deliberately not included — it was never paid
+  /// on the merge's critical path.
+  double read_ms = 0.0;
+  /// Host ms spent pushing record batches into the sinks.
+  double sink_ms = 0.0;
+  std::int64_t disk_bytes_read = 0;  ///< payload bytes loaded from disk
+  std::uint64_t mem_blocks = 0;      ///< blocks served by the memory tier
+  std::uint64_t disk_blocks = 0;     ///< blocks read back from the file
+};
+
+struct StreamMergeOptions {
+  /// Keep one background-prefetched next block per node cursor, overlapping
+  /// disk reads with record correction and sink pushes.  Only engages when
+  /// the trace has disk-tier blocks; memory-tier blocks always decode
+  /// synchronously (they are resident, there is nothing to overlap).
+  bool prefetch = true;
+  StreamMergeStats* stats = nullptr;  ///< optional measurement out-param
+};
+
 /// Streaming pipeline (ROADMAP item 3): the same stable k-way merge, but
 /// reading one block per node-cursor from the spilled trace and pushing each
 /// corrected record to every sink instead of materializing the sorted
 /// vector.  Record order and timestamps are bit-identical to postprocess()
 /// on the materialized equivalent; peak memory is one in-flight block per
-/// node plus the sinks' own bounded state.  Returns the record count pushed.
+/// node (plus one prefetched block per node when enabled) and the sinks' own
+/// bounded state.  Returns the record count pushed.
 std::uint64_t stream_postprocess(const SpilledTrace& trace,
-                                 const std::vector<RecordSink*>& sinks);
+                                 const std::vector<RecordSink*>& sinks,
+                                 const StreamMergeOptions& options = {});
 
 /// Counts adjacent-pair inversions of `reference_order` (a permutation of
 /// record indices in true order) within `t` — the postprocessing quality

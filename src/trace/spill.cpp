@@ -1,20 +1,34 @@
 #include "trace/spill.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
+#include "util/stopwatch.hpp"
 
 namespace charisma::trace {
 
 namespace {
 
-template <typename T>
-void put(std::ofstream& out, T v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
+constexpr std::size_t kStageBytes = 1u << 20;  // disk-tier staging buffer
+constexpr std::size_t kMaxQueuedBuffers = 3;   // async double/triple buffering
+constexpr std::int64_t kFrameHeaderBytes = 4 + 8 + 8 + 4;  // stamps + count
+// Charged per memory-tier block on top of the payload: the index entry plus
+// the payload vector's own bookkeeping/allocator overhead.
+constexpr std::int64_t kMemBlockOverhead = 64;
 
 template <typename T>
 T take(std::ifstream& in) {
@@ -22,6 +36,12 @@ T take(std::ifstream& in) {
   in.read(reinterpret_cast<char*>(&v), sizeof v);
   if (!in) throw std::runtime_error("trace file truncated");
   return v;
+}
+
+template <typename T>
+void put_raw(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
 }
 
 inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) noexcept {
@@ -37,36 +57,163 @@ inline void fnv1a_value(std::uint64_t& h, T v) noexcept {
   fnv1a(h, &v, sizeof v);
 }
 
-}  // namespace
-
-// --- SpilledTrace ---------------------------------------------------------
-
-SpilledTrace::SpilledTrace(SpilledTrace&& other) noexcept
-    : header(std::move(other.header)),
-      blocks(std::move(other.blocks)),
-      path_(std::move(other.path_)),
-      owns_file_(std::exchange(other.owns_file_, false)) {
-  other.path_.clear();
+/// Positioned write (the finish()-time back-patches); returns host ms spent.
+double pwrite_fd(int fd, const void* data, std::size_t size,
+                 std::int64_t offset) {
+  const util::Stopwatch sw;
+  const auto* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::pwrite(fd, p + off, size - off,
+                                 static_cast<::off_t>(offset) +
+                                     static_cast<::off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("spill patch failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return sw.elapsed_ms();
 }
 
-SpilledTrace& SpilledTrace::operator=(SpilledTrace&& other) noexcept {
+std::string default_spill_dir(const std::string& dir) {
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  return base;
+}
+
+std::string proc_fd_path(int fd) {
+  return "/proc/self/fd/" + std::to_string(fd);
+}
+
+/// True when an ifstream can re-open the descriptor's inode through /proc —
+/// the precondition for unlinking an anonymous spill while still reading it.
+bool proc_fd_readable(int fd) {
+  const std::ifstream probe(proc_fd_path(fd), std::ios::binary);
+  return probe.is_open();
+}
+
+std::string unique_spill_name(const std::string& base, const char* tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  return base + "/charisma_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) +
+         ".spill";
+}
+
+}  // namespace
+
+double spill_write(int fd, const void* data, std::size_t size) {
+  const util::Stopwatch sw;
+  const auto* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::write(fd, p + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("spill write failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return sw.elapsed_ms();
+}
+
+// --- SpillFile ------------------------------------------------------------
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      read_path_(std::move(other.read_path_)),
+      remove_path_(std::move(other.remove_path_)),
+      anonymous_(std::exchange(other.anonymous_, false)) {
+  other.read_path_.clear();
+  other.remove_path_.clear();
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
   if (this != &other) {
-    remove_backing_file();
-    header = std::move(other.header);
-    blocks = std::move(other.blocks);
-    path_ = std::move(other.path_);
-    owns_file_ = std::exchange(other.owns_file_, false);
-    other.path_.clear();
+    close_and_remove();
+    fd_ = std::exchange(other.fd_, -1);
+    read_path_ = std::move(other.read_path_);
+    remove_path_ = std::move(other.remove_path_);
+    anonymous_ = std::exchange(other.anonymous_, false);
+    other.read_path_.clear();
+    other.remove_path_.clear();
   }
   return *this;
 }
 
-SpilledTrace::~SpilledTrace() { remove_backing_file(); }
-
-void SpilledTrace::remove_backing_file() noexcept {
-  if (owns_file_ && !path_.empty()) std::remove(path_.c_str());
-  owns_file_ = false;
+void SpillFile::close_and_remove() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  if (!remove_path_.empty()) std::remove(remove_path_.c_str());
+  remove_path_.clear();
+  read_path_.clear();
+  anonymous_ = false;
 }
+
+SpillFile SpillFile::create_anonymous(const std::string& dir,
+                                      const char* tag) {
+  SpillFile f;
+  const std::string base = default_spill_dir(dir);
+#ifdef O_TMPFILE
+  const int tmp_fd = ::open(base.c_str(), O_TMPFILE | O_RDWR | O_CLOEXEC,
+                            S_IRUSR | S_IWUSR);
+  if (tmp_fd >= 0) {
+    if (proc_fd_readable(tmp_fd)) {
+      f.fd_ = tmp_fd;
+      f.read_path_ = proc_fd_path(tmp_fd);
+      f.anonymous_ = true;
+      return f;
+    }
+    ::close(tmp_fd);  // no /proc: fall back to a path-openable file
+  }
+#endif
+  const std::string path = unique_spill_name(base, tag);
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC | O_CLOEXEC,
+                        S_IRUSR | S_IWUSR);
+  if (fd < 0) {
+    throw std::runtime_error("cannot create spill file in " + base + ": " +
+                             std::strerror(errno));
+  }
+  f.fd_ = fd;
+  if (proc_fd_readable(fd)) {
+    // Unlink immediately: the inode lives until the descriptor closes, so a
+    // crashed run leaves no litter in the spill directory.
+    std::remove(path.c_str());
+    f.read_path_ = proc_fd_path(fd);
+    f.anonymous_ = true;
+  } else {
+    f.read_path_ = path;
+    f.remove_path_ = path;
+  }
+  return f;
+}
+
+SpillFile SpillFile::create_named(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC | O_CLOEXEC,
+                        S_IRUSR | S_IWUSR | S_IRGRP | S_IROTH);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open spill file: " + path + ": " +
+                             std::strerror(errno));
+  }
+  SpillFile f;
+  f.fd_ = fd;
+  f.read_path_ = path;
+  return f;
+}
+
+SpillFile SpillFile::reference(std::string path) {
+  SpillFile f;
+  f.read_path_ = std::move(path);
+  return f;
+}
+
+// --- SpilledTrace ---------------------------------------------------------
 
 std::uint64_t SpilledTrace::record_count() const noexcept {
   std::uint64_t n = 0;
@@ -77,8 +224,8 @@ std::uint64_t SpilledTrace::record_count() const noexcept {
 std::uint64_t SpilledTrace::digest() const {
   // Same fold, same order as TraceFile::digest(): header fields, then per
   // block the stamps, the count, and the records' encoded bytes — which are
-  // exactly the payload bytes on disk, so they are folded straight from the
-  // file without decoding.
+  // exactly the payload bytes in either tier, so memory-tier blocks fold
+  // their resident buffer and disk blocks fold straight from the file.
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
   fnv1a_value(h, header.compute_nodes);
   fnv1a_value(h, header.io_nodes);
@@ -87,19 +234,35 @@ std::uint64_t SpilledTrace::digest() const {
   fnv1a_value(h, header.trace_start);
   fnv1a_value(h, header.trace_end);
   fnv1a(h, header.label.data(), header.label.size());
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open spilled trace: " + path_);
+  std::ifstream in;
+  bool opened = false;
   std::vector<std::uint8_t> buf;
   for (const auto& b : blocks) {
     fnv1a_value(h, b.node);
     fnv1a_value(h, b.sent_local);
     fnv1a_value(h, b.recv_global);
     fnv1a_value(h, b.count);
+    if (b.in_memory()) {
+      const auto& bytes = mem_payloads_[b.mem_index];
+      fnv1a(h, bytes.data(), bytes.size());
+      continue;
+    }
+    if (!opened) {
+      in = open_payload();
+      opened = true;
+      if (!in.is_open()) {
+        throw std::runtime_error("cannot open spilled trace: " +
+                                 file_.read_path());
+      }
+    }
     buf.resize(static_cast<std::size_t>(b.count) * Record::kEncodedSize);
     in.seekg(b.payload_offset);
     in.read(reinterpret_cast<char*>(buf.data()),
             static_cast<std::streamsize>(buf.size()));
-    if (!in) throw std::runtime_error("spilled trace truncated: " + path_);
+    if (!in) {
+      throw std::runtime_error("spilled trace truncated: " +
+                               file_.read_path());
+    }
     fnv1a(h, buf.data(), buf.size());
   }
   return h;
@@ -112,21 +275,44 @@ void SpilledTrace::read_block(std::size_t index, std::ifstream& in,
   const SpillBlock& b = blocks[index];
   out.clear();
   out.reserve(b.count);
+  if (b.in_memory()) {
+    const std::uint8_t* p = mem_payloads_[b.mem_index].data();
+    for (std::uint32_t i = 0; i < b.count; ++i, p += Record::kEncodedSize) {
+      out.push_back(Record::decode(p));
+    }
+    return;
+  }
   std::uint8_t buf[Record::kEncodedSize];
   in.seekg(b.payload_offset);
   for (std::uint32_t i = 0; i < b.count; ++i) {
     in.read(reinterpret_cast<char*>(buf), sizeof buf);
     if (!in) {
-      throw std::runtime_error("spilled trace truncated: " + path_);
+      throw std::runtime_error("spilled trace truncated: " +
+                               file_.read_path());
     }
     out.push_back(Record::decode(buf));
   }
 }
 
 std::ifstream SpilledTrace::open_payload() const {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open spilled trace: " + path_);
+  if (!file_.valid()) return {};  // every block is resident
+  std::ifstream in(file_.read_path(), std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open spilled trace: " +
+                             file_.read_path());
+  }
   return in;
+}
+
+std::int64_t SpilledTrace::disk_payload_bytes() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& b : blocks) {
+    if (!b.in_memory()) {
+      n += static_cast<std::int64_t>(b.count) *
+           static_cast<std::int64_t>(Record::kEncodedSize);
+    }
+  }
+  return n;
 }
 
 SpilledTrace SpilledTrace::open(const std::string& path, bool tolerant,
@@ -145,7 +331,7 @@ SpilledTrace SpilledTrace::open(const std::string& path, bool tolerant,
     throw std::runtime_error("unsupported trace version");
   }
   SpilledTrace t;
-  t.path_ = path;
+  t.file_ = SpillFile::reference(path);
   t.header.compute_nodes = take<std::int32_t>(in);
   t.header.io_nodes = take<std::int32_t>(in);
   t.header.block_size = take<std::int64_t>(in);
@@ -208,67 +394,238 @@ SpilledTrace SpilledTrace::open(const std::string& path, bool tolerant,
 
 // --- SpillWriter ----------------------------------------------------------
 
+/// Shared state between append()'s staging side and the background writer.
+struct SpillWriter::Async {
+  util::Mutex mutex;
+  std::condition_variable_any work_cv;
+  std::condition_variable_any space_cv;
+  std::deque<std::vector<std::uint8_t>> queue CHARISMA_GUARDED_BY(mutex);
+  bool done CHARISMA_GUARDED_BY(mutex) = false;
+  std::string error CHARISMA_GUARDED_BY(mutex);
+  // Folded into the writer's stats after join.
+  double write_ms CHARISMA_GUARDED_BY(mutex) = 0.0;
+  std::int64_t disk_bytes CHARISMA_GUARDED_BY(mutex) = 0;
+  std::thread thread;
+};
+
+SpillWriter::SpillWriter(const SpillTarget& target, const TraceHeader& header,
+                         const SpillWriterOptions& options)
+    : target_(target), header_(header), options_(options) {
+  header_bytes_.reserve(64 + header_.label.size());
+  header_bytes_.insert(header_bytes_.end(), TraceFile::kMagic,
+                       TraceFile::kMagic + sizeof TraceFile::kMagic);
+  put_raw<std::uint32_t>(header_bytes_, TraceFile::kVersion);
+  put_raw<std::int32_t>(header_bytes_, header_.compute_nodes);
+  put_raw<std::int32_t>(header_bytes_, header_.io_nodes);
+  put_raw<std::int64_t>(header_bytes_, header_.block_size);
+  put_raw<std::uint64_t>(header_bytes_, header_.seed);
+  put_raw<std::int64_t>(header_bytes_, header_.trace_start);
+  trace_end_offset_ = static_cast<std::int64_t>(header_bytes_.size());
+  put_raw<std::int64_t>(header_bytes_, 0);  // trace_end: patched by finish()
+  put_raw<std::uint32_t>(header_bytes_,
+                         static_cast<std::uint32_t>(header_.label.size()));
+  header_bytes_.insert(header_bytes_.end(), header_.label.begin(),
+                       header_.label.end());
+  block_count_offset_ = static_cast<std::int64_t>(header_bytes_.size());
+  put_raw<std::uint64_t>(header_bytes_, 0);  // block count: patched later
+  disk_offset_ = static_cast<std::int64_t>(header_bytes_.size());
+  stage_.reserve(kStageBytes + (64u << 10));
+  if (!target_.path.empty()) {
+    // Named targets keep the legacy contract: the header is on disk from
+    // construction, so crash-recovery tooling always finds a parseable file.
+    stats_.write_ms += ensure_file();
+    stats_.disk_bytes += static_cast<std::int64_t>(header_bytes_.size());
+  }
+}
+
 SpillWriter::SpillWriter(std::string path, const TraceHeader& header)
-    : path_(std::move(path)), header_(header) {
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) throw std::runtime_error("cannot open spill file: " + path_);
-  out_.write(TraceFile::kMagic, sizeof TraceFile::kMagic);
-  put<std::uint32_t>(out_, TraceFile::kVersion);
-  put<std::int32_t>(out_, header_.compute_nodes);
-  put<std::int32_t>(out_, header_.io_nodes);
-  put<std::int64_t>(out_, header_.block_size);
-  put<std::uint64_t>(out_, header_.seed);
-  put<std::int64_t>(out_, header_.trace_start);
-  trace_end_offset_ = static_cast<std::int64_t>(out_.tellp());
-  put<std::int64_t>(out_, 0);  // trace_end: patched by finish()
-  put<std::uint32_t>(out_, static_cast<std::uint32_t>(header_.label.size()));
-  out_.write(header_.label.data(),
-             static_cast<std::streamsize>(header_.label.size()));
-  block_count_offset_ = static_cast<std::int64_t>(out_.tellp());
-  put<std::uint64_t>(out_, 0);  // block count: patched by finish()
-  if (!out_) throw std::runtime_error("spill write failed: " + path_);
+    : SpillWriter(SpillTarget::named(std::move(path)), header) {}
+
+SpillWriter::~SpillWriter() {
+  if (finished_) return;
+  // Unfinished (crash-path) teardown: get every appended frame onto disk —
+  // the tolerant reader recovers complete frames, only the back-patches are
+  // allowed to be missing.  Errors are swallowed; we may already be
+  // unwinding.
+  try {
+    flush_stage();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+  try {
+    drain_async();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+double SpillWriter::ensure_file() {
+  if (file_created_) return 0.0;
+  file_ = target_.path.empty()
+              ? SpillFile::create_anonymous(target_.dir, "trace")
+              : SpillFile::create_named(target_.path);
+  file_created_ = true;
+  return spill_write(file_.fd(), header_bytes_.data(), header_bytes_.size());
 }
 
 void SpillWriter::append(const TraceBlock& block) {
   CHECK(!finished_, "SpillWriter::append after finish");
-  put<std::int32_t>(out_, block.node);
-  put<std::int64_t>(out_, block.sent_local);
-  put<std::int64_t>(out_, block.recv_global);
-  put<std::uint32_t>(out_, static_cast<std::uint32_t>(block.records.size()));
+  const auto count = static_cast<std::uint32_t>(block.records.size());
+  const std::size_t payload = block.records.size() * Record::kEncodedSize;
   SpillBlock idx;
   idx.node = block.node;
   idx.sent_local = block.sent_local;
   idx.recv_global = block.recv_global;
-  idx.count = static_cast<std::uint32_t>(block.records.size());
-  idx.payload_offset = static_cast<std::int64_t>(out_.tellp());
-  encode_buf_.resize(block.records.size() * Record::kEncodedSize);
-  std::uint8_t* p = encode_buf_.data();
-  for (const auto& r : block.records) {
-    r.encode(p);
-    p += Record::kEncodedSize;
+  idx.count = count;
+  if (!overflowed_ && options_.budget != nullptr &&
+      options_.budget->try_reserve(static_cast<std::int64_t>(payload) +
+                                   kMemBlockOverhead)) {
+    std::vector<std::uint8_t> bytes(payload);
+    std::uint8_t* p = bytes.data();
+    for (const auto& r : block.records) {
+      r.encode(p);
+      p += Record::kEncodedSize;
+    }
+    idx.payload_offset = SpillBlock::kMemoryTier;
+    idx.mem_index = static_cast<std::uint32_t>(mem_payloads_.size());
+    mem_payloads_.push_back(std::move(bytes));
+  } else {
+    overflowed_ = true;  // sticky: the resident tier stays a stream prefix
+    put_raw<std::int32_t>(stage_, block.node);
+    put_raw<std::int64_t>(stage_, block.sent_local);
+    put_raw<std::int64_t>(stage_, block.recv_global);
+    put_raw<std::uint32_t>(stage_, count);
+    idx.payload_offset = disk_offset_ + kFrameHeaderBytes;
+    const std::size_t base = stage_.size();
+    stage_.resize(base + payload);
+    std::uint8_t* p = stage_.data() + base;
+    for (const auto& r : block.records) {
+      r.encode(p);
+      p += Record::kEncodedSize;
+    }
+    disk_offset_ += kFrameHeaderBytes + static_cast<std::int64_t>(payload);
+    ++disk_blocks_;
+    if (stage_.size() >= kStageBytes) flush_stage();
   }
-  out_.write(reinterpret_cast<const char*>(encode_buf_.data()),
-             static_cast<std::streamsize>(encode_buf_.size()));
-  if (!out_) throw std::runtime_error("spill write failed: " + path_);
   index_.push_back(idx);
+}
+
+void SpillWriter::flush_stage() {
+  if (stage_.empty()) return;
+  if (!options_.async) {
+    const bool had_file = file_created_;
+    double ms = ensure_file();
+    if (!had_file) {
+      stats_.disk_bytes += static_cast<std::int64_t>(header_bytes_.size());
+    }
+    ms += spill_write(file_.fd(), stage_.data(), stage_.size());
+    stats_.write_ms += ms;
+    stats_.disk_bytes += static_cast<std::int64_t>(stage_.size());
+    stage_.clear();
+    return;
+  }
+  if (!async_) {
+    async_ = std::make_unique<Async>();
+    async_->thread = std::thread([this] { async_loop(); });
+  }
+  // Hand the filled buffer to the writer and leave stage_ a fresh one, so
+  // append() keeps encoding while the disk write runs behind it.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kStageBytes + (64u << 10));
+  std::swap(buf, stage_);
+  {
+    const util::MutexLock lock(async_->mutex);
+    const util::Stopwatch stall;
+    while (async_->queue.size() >= kMaxQueuedBuffers &&
+           async_->error.empty()) {
+      async_->space_cv.wait(async_->mutex);
+    }
+    stats_.append_stall_ms += stall.elapsed_ms();
+    if (!async_->error.empty()) {
+      throw std::runtime_error(async_->error);
+    }
+    async_->queue.push_back(std::move(buf));
+  }
+  async_->work_cv.notify_one();
+}
+
+void SpillWriter::async_loop() {
+  double write_ms = 0.0;
+  std::int64_t bytes = 0;
+  try {
+    for (;;) {
+      std::vector<std::uint8_t> buf;
+      {
+        const util::MutexLock lock(async_->mutex);
+        while (async_->queue.empty() && !async_->done) {
+          async_->work_cv.wait(async_->mutex);
+        }
+        if (async_->queue.empty()) break;  // done and drained
+        buf = std::move(async_->queue.front());
+        async_->queue.pop_front();
+      }
+      async_->space_cv.notify_one();
+      // file_/file_created_ are writer-thread-only between thread start and
+      // join: the staging side never calls ensure_file() in async mode.
+      const bool had_file = file_created_;
+      write_ms += ensure_file();
+      if (!had_file) bytes += static_cast<std::int64_t>(header_bytes_.size());
+      write_ms += spill_write(file_.fd(), buf.data(), buf.size());
+      bytes += static_cast<std::int64_t>(buf.size());
+    }
+  } catch (const std::exception& e) {
+    const util::MutexLock lock(async_->mutex);
+    async_->error = e.what();
+    async_->write_ms = write_ms;
+    async_->disk_bytes = bytes;
+    async_->space_cv.notify_all();  // unblock a stalled flush_stage()
+    return;
+  }
+  const util::MutexLock lock(async_->mutex);
+  async_->write_ms = write_ms;
+  async_->disk_bytes = bytes;
+}
+
+void SpillWriter::drain_async() {
+  if (!async_) return;
+  {
+    const util::MutexLock lock(async_->mutex);
+    async_->done = true;
+  }
+  async_->work_cv.notify_all();
+  if (async_->thread.joinable()) async_->thread.join();
+  const util::MutexLock lock(async_->mutex);
+  stats_.write_ms += async_->write_ms;
+  stats_.disk_bytes += async_->disk_bytes;
+  async_->write_ms = 0.0;
+  async_->disk_bytes = 0;
+  if (!async_->error.empty()) {
+    throw std::runtime_error(async_->error);
+  }
 }
 
 SpilledTrace SpillWriter::finish(MicroSec trace_end) {
   CHECK(!finished_, "SpillWriter::finish called twice");
   finished_ = true;
-  out_.seekp(trace_end_offset_);
-  put<std::int64_t>(out_, trace_end);
-  out_.seekp(block_count_offset_);
-  put<std::uint64_t>(out_, static_cast<std::uint64_t>(index_.size()));
-  out_.flush();
-  if (!out_) throw std::runtime_error("spill write failed: " + path_);
-  out_.close();
+  flush_stage();
+  drain_async();
+  if (file_created_) {
+    const std::int64_t end_value = trace_end;
+    const std::uint64_t disk_count = disk_blocks_;
+    double ms = pwrite_fd(file_.fd(), &end_value, sizeof end_value,
+                          trace_end_offset_);
+    ms += pwrite_fd(file_.fd(), &disk_count, sizeof disk_count,
+                    block_count_offset_);
+    stats_.write_ms += ms;
+    file_.own_visible_file();
+  }
+  stats_.mem_blocks = static_cast<std::uint64_t>(mem_payloads_.size());
+  stats_.disk_blocks = disk_blocks_;
   SpilledTrace t;
   t.header = header_;
   t.header.trace_end = trace_end;
   t.blocks = std::move(index_);
-  t.path_ = path_;
-  t.owns_file_ = true;
+  t.mem_payloads_ = std::move(mem_payloads_);
+  t.file_ = std::move(file_);
+  t.write_stats_ = stats_;
   return t;
 }
 

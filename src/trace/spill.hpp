@@ -1,16 +1,29 @@
 // Bounded-memory trace spilling (ROADMAP item 3).
 //
 // A spilled trace is an ordinary CHARISMA trace file written *incrementally*:
-// the collector appends each flushed block to disk as it arrives and only the
-// header plus a per-block stamp index stay resident.  Because the on-disk
-// layout is exactly `TraceFile::write`'s, every existing reader — including
-// the tolerant crash-recovery path — works on a spill file unchanged, and the
+// the collector appends each flushed block as it arrives and only the header
+// plus a per-block stamp index stay resident.  Because the on-disk layout is
+// exactly `TraceFile::write`'s, every existing reader — including the
+// tolerant crash-recovery path — works on a spill file unchanged, and the
 // streaming digest below is bit-identical to `TraceFile::digest()` on the
 // materialized equivalent.
+//
+// Blocks land in two tiers.  A writer with a SpillBudget keeps finished
+// blocks' encoded payloads resident until the budget pool runs dry; from the
+// first refused reservation on, every later block goes to the disk tier
+// (sticky overflow, so the resident set is always a *prefix* of the stream
+// and the on-disk file is always a self-consistent trace holding the tail).
+// Budget reservations are never returned — the pool is a monotone RSS bound,
+// shared between the trace spill and the replay-op spill of one study.  The
+// disk tier is written through a staging buffer, optionally from a
+// background writer thread with a bounded queue so append() never blocks the
+// simulation on write(2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,46 +39,202 @@ class RecordSink {
   virtual void on_record(const Record& record) = 0;
 };
 
-/// One block's stamps and payload location; the in-memory index entry for a
-/// block whose records live on disk.  24 bytes of stamps + a 12-byte locator
-/// per block instead of the records themselves.
+/// A monotone reserve-only byte pool bounding how much spilled payload may
+/// stay resident across the spill writers of one study (trace blocks plus
+/// replay-op chunks).  Reservations are thread-safe and never released:
+/// remaining() only falls, so the pool is a hard RSS bound by construction.
+class SpillBudget {
+ public:
+  explicit SpillBudget(std::int64_t bytes) noexcept : remaining_(bytes) {}
+  SpillBudget(const SpillBudget&) = delete;
+  SpillBudget& operator=(const SpillBudget&) = delete;
+
+  /// True (and debits the pool) iff `bytes` still fit.
+  [[nodiscard]] bool try_reserve(std::int64_t bytes) noexcept {
+    std::int64_t cur = remaining_.load(std::memory_order_relaxed);
+    while (cur >= bytes) {
+      if (remaining_.compare_exchange_weak(cur, cur - bytes,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t remaining() const noexcept {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> remaining_;
+};
+
+/// The disk-tier backing file.  Three flavours:
+///   - anonymous: O_TMPFILE in the target directory, falling back to a
+///     uniquely named (pid + counter) file unlinked immediately after
+///     creation — either way a crash leaves no litter.  Reads re-open the
+///     still-live inode through /proc/self/fd/<fd>; if /proc is unavailable
+///     the named fallback stays visible (and owned) until destruction.
+///   - named: a visible file at a caller-chosen path, created eagerly and
+///     unlinked on destruction (crash-recovery tests and saved traces).
+///   - reference: an existing file opened read-only and never removed.
+class SpillFile {
+ public:
+  SpillFile() = default;
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&& other) noexcept;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile() { close_and_remove(); }
+
+  /// Anonymous temp file in `dir` (empty: $TMPDIR, then /tmp).  Throws
+  /// std::runtime_error when no file can be created there.
+  [[nodiscard]] static SpillFile create_anonymous(const std::string& dir,
+                                                  const char* tag);
+  /// Creates/truncates a visible file at exactly `path`.  Not yet owned —
+  /// see own_visible_file().  Throws std::runtime_error on failure.
+  [[nodiscard]] static SpillFile create_named(const std::string& path);
+  /// Borrows an existing file for reading; never removed.
+  [[nodiscard]] static SpillFile reference(std::string path);
+
+  [[nodiscard]] bool valid() const noexcept {
+    return fd_ >= 0 || !read_path_.empty();
+  }
+  /// Writable descriptor (-1 for reference files).
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Path readers open ifstreams on ("/proc/self/fd/<fd>" when anonymous).
+  [[nodiscard]] const std::string& read_path() const noexcept {
+    return read_path_;
+  }
+  /// True when the backing inode is already unlinked (crash-litter-proof).
+  [[nodiscard]] bool anonymous() const noexcept { return anonymous_; }
+
+  /// Closes the descriptor and unlinks the file if owned.  Idempotent.
+  void close_and_remove() noexcept;
+
+  /// Marks a visible (non-anonymous) file owned, so close_and_remove() — and
+  /// destruction — unlink it.  Called by SpillWriter::finish when it hands
+  /// the file to the SpilledTrace; a writer destroyed *unfinished* leaves a
+  /// named file behind on purpose (the crash-recovery contract).  No-op for
+  /// anonymous and reference files.
+  void own_visible_file() noexcept {
+    if (!anonymous_ && fd_ >= 0) remove_path_ = read_path_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string read_path_;
+  std::string remove_path_;  // non-empty: unlink on close_and_remove()
+  bool anonymous_ = false;
+};
+
+/// Writes all of `data` to `fd` (retrying short writes and EINTR); returns
+/// the host ms spent blocked in write(2).  Throws std::runtime_error on
+/// failure.  Shared by the trace spill writer and the replay-op sink.
+double spill_write(int fd, const void* data, std::size_t size);
+
+/// Where a SpillWriter puts its disk tier.
+struct SpillTarget {
+  std::string dir;   ///< anonymous temp file here (used when path is empty)
+  std::string path;  ///< non-empty: visible named file at exactly this path
+
+  [[nodiscard]] static SpillTarget anonymous_in(std::string dir) {
+    SpillTarget t;
+    t.dir = std::move(dir);
+    return t;
+  }
+  [[nodiscard]] static SpillTarget named(std::string path) {
+    SpillTarget t;
+    t.path = std::move(path);
+    return t;
+  }
+};
+
+struct SpillWriterOptions {
+  /// Admission pool for the memory tier; borrowed, must outlive the writer.
+  /// Null sends every block to the disk tier (the pre-tier behavior).
+  SpillBudget* budget = nullptr;
+  /// Write disk-tier bytes from a background thread with a bounded buffer
+  /// queue, so append() only blocks when the queue is full.
+  bool async = false;
+};
+
+/// What the writer measured; carried by the finished SpilledTrace.
+struct SpillWriterStats {
+  /// Host time inside write(2)/pwrite(2).  Synchronous mode: time append()/
+  /// finish() blocked.  Async mode: writer-thread time (overlapped with the
+  /// simulation), so only append_stall_ms below was actually paid.
+  double write_ms = 0.0;
+  /// Host time append() spent waiting for a free slot in the async queue.
+  double append_stall_ms = 0.0;
+  std::int64_t disk_bytes = 0;  ///< bytes written to the disk tier
+  std::uint64_t mem_blocks = 0;
+  std::uint64_t disk_blocks = 0;
+};
+
+/// One block's stamps and payload location; the in-memory index entry.
+/// Payloads live either in the memory tier (payload_offset == kMemoryTier,
+/// located by mem_index) or on disk at payload_offset.
 struct SpillBlock {
+  /// payload_offset value marking a memory-tier block.
+  static constexpr std::int64_t kMemoryTier = -1;
+
   NodeId node = 0;
   MicroSec sent_local = 0;   // node clock when the buffer was sent
   MicroSec recv_global = 0;  // collector clock when it arrived
   std::uint32_t count = 0;   // records in this block
-  std::int64_t payload_offset = 0;  // file offset of the first record's bytes
+  std::uint32_t mem_index = 0;      // memory-tier slot when resident
+  std::int64_t payload_offset = 0;  // disk offset of the first record's bytes
+
+  [[nodiscard]] bool in_memory() const noexcept {
+    return payload_offset == kMemoryTier;
+  }
 };
 
-/// A trace resident on disk: header and block index in memory, record
-/// payloads read back one block at a time.
+/// A finished spilled trace: header and block index in memory, payloads in
+/// the memory tier (encoded bytes, a prefix of the stream) or read back from
+/// the backing file one block at a time.
 class SpilledTrace {
  public:
   TraceHeader header;
   std::vector<SpillBlock> blocks;
 
   SpilledTrace() = default;
-  SpilledTrace(SpilledTrace&& other) noexcept;
-  SpilledTrace& operator=(SpilledTrace&& other) noexcept;
+  SpilledTrace(SpilledTrace&&) noexcept = default;
+  SpilledTrace& operator=(SpilledTrace&&) noexcept = default;
   SpilledTrace(const SpilledTrace&) = delete;
   SpilledTrace& operator=(const SpilledTrace&) = delete;
-  ~SpilledTrace();
+  ~SpilledTrace() = default;
 
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// The backing file's read path; empty when every block fit in memory.
+  [[nodiscard]] const std::string& path() const noexcept {
+    return file_.read_path();
+  }
   [[nodiscard]] std::uint64_t record_count() const noexcept;
 
-  /// Streams the backing file once (sequentially, one block's payload at a
-  /// time).  Bit-identical to `TraceFile::digest()` on the same trace.
+  /// Folds both tiers once, disk blocks sequentially.  Bit-identical to
+  /// `TraceFile::digest()` on the same trace.
   [[nodiscard]] std::uint64_t digest() const;
 
-  /// Decodes block `index`'s records into `out` (cleared first) using the
-  /// caller's open stream — callers reuse both across blocks so the merge
-  /// holds one block per node, not the trace.
+  /// Decodes block `index`'s records into `out` (cleared first).  Memory-
+  /// tier blocks decode from the resident payload; disk blocks read through
+  /// the caller's open stream — callers reuse both across blocks so the
+  /// merge holds one block per node, not the trace.  Safe to call
+  /// concurrently (each caller owns its stream and output).
   void read_block(std::size_t index, std::ifstream& in,
                   std::vector<Record>& out) const;
 
-  /// Opens `path` for streaming (seekable stream positioned by read_block).
+  /// Opens the disk tier for streaming (seekable stream positioned by
+  /// read_block).  Returns an unopened stream when no block is on disk.
   [[nodiscard]] std::ifstream open_payload() const;
+
+  /// Payload bytes in the disk tier (what digest() re-reads).
+  [[nodiscard]] std::int64_t disk_payload_bytes() const noexcept;
+
+  /// The writer's measurements (zeros for open()ed traces).
+  [[nodiscard]] const SpillWriterStats& write_stats() const noexcept {
+    return write_stats_;
+  }
 
   /// Indexes an existing trace/spill file without loading record payloads.
   /// Tolerant mode honours the tolerant-reader contract: it scans block
@@ -77,29 +246,45 @@ class SpilledTrace {
                                          bool* truncated = nullptr);
 
   /// Deletes the backing file now (also done by ~SpilledTrace when owned).
-  void remove_backing_file() noexcept;
+  void remove_backing_file() noexcept { file_.close_and_remove(); }
 
  private:
   friend class SpillWriter;
-  std::string path_;
-  bool owns_file_ = false;  // temp spill: unlink on destruction
+  /// Encoded payloads of memory-tier blocks, indexed by SpillBlock::mem_index.
+  std::vector<std::vector<std::uint8_t>> mem_payloads_;
+  SpillFile file_;
+  SpillWriterStats write_stats_;
 };
 
 /// Incremental writer producing `TraceFile::write`-format bytes.  The header
 /// (minus trace_end) must be final at construction — its bytes, and the label
-/// in particular, fix the patch offsets; trace_end and the block count are
-/// back-patched by finish().
+/// in particular, fix the patch offsets; trace_end and the disk tier's block
+/// count are back-patched by finish().
+///
+/// Anonymous targets create the backing file lazily, on the first block that
+/// misses the memory tier: a run whose whole trace fits the budget performs
+/// zero file I/O.  Named targets keep the legacy behavior (file created
+/// eagerly so crash-recovery tooling finds at least a header).  If the
+/// writer is destroyed unfinished, buffered disk-tier frames are still
+/// flushed — the crash-recovery contract is that every appended frame is
+/// complete on disk, only the back-patches are missing.
 class SpillWriter {
  public:
-  /// Creates/truncates `path` and writes the header with placeholder
-  /// trace_end/block-count fields.  Throws std::runtime_error on I/O failure.
+  SpillWriter(const SpillTarget& target, const TraceHeader& header,
+              const SpillWriterOptions& options = {});
+  /// Legacy named-file writer: synchronous, no memory tier.
   SpillWriter(std::string path, const TraceHeader& header);
+  ~SpillWriter();
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
 
-  /// Appends one block's frame; called in collector flush order.
+  /// Appends one block's frame; called in collector flush order.  Throws
+  /// std::runtime_error if the (possibly asynchronous) disk tier failed.
   void append(const TraceBlock& block);
 
-  /// Patches trace_end and the block count, closes the file, and returns the
-  /// index as an owning SpilledTrace (the file is deleted with it).
+  /// Flushes and joins the writer thread, patches trace_end and the disk
+  /// block count, and returns the index as an owning SpilledTrace (the
+  /// backing file is deleted with it).
   [[nodiscard]] SpilledTrace finish(MicroSec trace_end);
 
   [[nodiscard]] std::uint64_t blocks_written() const noexcept {
@@ -107,13 +292,34 @@ class SpillWriter {
   }
 
  private:
-  std::string path_;
+  struct Async;
+
+  /// Creates the backing file and writes the header prefix if not yet done;
+  /// returns the host ms spent (0 when already created).
+  double ensure_file();
+  void flush_stage();
+  void async_loop();
+  void drain_async();
+
+  SpillTarget target_;
   TraceHeader header_;
-  std::ofstream out_;
-  std::vector<SpillBlock> index_;
+  SpillWriterOptions options_;
+  SpillFile file_;
+  bool file_created_ = false;
+  std::vector<std::uint8_t> header_bytes_;
   std::int64_t trace_end_offset_ = 0;
   std::int64_t block_count_offset_ = 0;
-  std::vector<std::uint8_t> encode_buf_;
+
+  std::vector<SpillBlock> index_;
+  std::vector<std::vector<std::uint8_t>> mem_payloads_;
+  bool overflowed_ = false;  // sticky: first refused reservation ends the tier
+
+  std::vector<std::uint8_t> stage_;   // pending disk-tier bytes
+  std::int64_t disk_offset_ = 0;      // next disk write position
+  std::uint64_t disk_blocks_ = 0;
+  std::unique_ptr<Async> async_;
+
+  SpillWriterStats stats_;
   bool finished_ = false;
 };
 

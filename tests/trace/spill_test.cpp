@@ -172,5 +172,168 @@ TEST_F(SpillTest, StrictOpenOfUnfinishedSpillSeesDeclaredCount) {
   EXPECT_TRUE(s.blocks.empty());
 }
 
+// ---- The tiered memory/disk writer and the async disk path. ----
+
+/// Streams `s` and checks the record bytes against the materialized
+/// postprocess of `t`.
+void expect_stream_matches(const SpilledTrace& s, const TraceFile& t,
+                           bool prefetch = true) {
+  const SortedTrace sorted = postprocess(t);
+  CollectSink sink;
+  StreamMergeOptions mopts;
+  mopts.prefetch = prefetch;
+  ASSERT_EQ(stream_postprocess(s, {&sink}, mopts), sorted.records.size());
+  for (std::size_t i = 0; i < sorted.records.size(); ++i) {
+    std::uint8_t a[Record::kEncodedSize];
+    std::uint8_t b[Record::kEncodedSize];
+    sorted.records[i].encode(a);
+    sink.records[i].encode(b);
+    ASSERT_EQ(0, std::memcmp(a, b, sizeof a)) << "record " << i;
+  }
+}
+
+/// Spills `t` into an anonymous target under `budget`, finished.
+SpilledTrace spill_tiered(const TraceFile& t, SpillBudget& budget,
+                          bool async = false) {
+  SpillWriterOptions opts;
+  opts.budget = &budget;
+  opts.async = async;
+  SpillWriter writer(SpillTarget::anonymous_in(::testing::TempDir()),
+                     t.header, opts);
+  for (const auto& b : t.blocks) writer.append(b);
+  return writer.finish(t.header.trace_end);
+}
+
+TEST_F(SpillTest, AllMemoryTierNeverTouchesDisk) {
+  const TraceFile t = sample(10);
+  SpillBudget budget(1 << 20);  // far more than 10 blocks need
+  const SpilledTrace s = spill_tiered(t, budget);
+  EXPECT_EQ(s.write_stats().mem_blocks, t.blocks.size());
+  EXPECT_EQ(s.write_stats().disk_blocks, 0u);
+  EXPECT_EQ(s.write_stats().disk_bytes, 0);
+  EXPECT_TRUE(s.path().empty());  // the backing file was never created
+  EXPECT_EQ(s.digest(), t.digest());
+  expect_stream_matches(s, t);
+}
+
+TEST_F(SpillTest, ZeroBudgetSendsEveryBlockToDisk) {
+  const TraceFile t = sample(10);
+  SpillBudget budget(0);
+  const SpilledTrace s = spill_tiered(t, budget);
+  EXPECT_EQ(s.write_stats().mem_blocks, 0u);
+  EXPECT_EQ(s.write_stats().disk_blocks, t.blocks.size());
+  EXPECT_GT(s.write_stats().disk_bytes, 0);
+  EXPECT_EQ(s.digest(), t.digest());
+  expect_stream_matches(s, t);
+}
+
+TEST_F(SpillTest, MixedTierIsAPrefixSplitWithIdenticalDigest) {
+  const TraceFile t = sample(12);
+  // Each block reserves payload (8 records x 44 B) plus the fixed index
+  // overhead; admit roughly half the stream.
+  SpillBudget budget(5 * (8 * Record::kEncodedSize + 64));
+  const SpilledTrace s = spill_tiered(t, budget);
+  EXPECT_GT(s.write_stats().mem_blocks, 0u);
+  EXPECT_GT(s.write_stats().disk_blocks, 0u);
+  EXPECT_EQ(s.write_stats().mem_blocks + s.write_stats().disk_blocks,
+            t.blocks.size());
+  // Sticky overflow: the resident set is a stream prefix.
+  bool seen_disk = false;
+  for (const auto& b : s.blocks) {
+    if (!b.in_memory()) seen_disk = true;
+    EXPECT_TRUE(seen_disk ? !b.in_memory() : b.in_memory());
+  }
+  EXPECT_EQ(s.digest(), t.digest());
+  expect_stream_matches(s, t);
+}
+
+TEST_F(SpillTest, AsyncWriterMatchesSyncByteForByte) {
+  const TraceFile t = sample(16);
+  const std::string sync_path = path_ + ".sync";
+  const std::string async_path = path_ + ".async";
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  std::string sync_bytes;
+  std::string async_bytes;
+  {
+    SpillWriterOptions opts;  // no budget: everything to disk
+    SpillWriter writer(SpillTarget::named(sync_path), t.header, opts);
+    for (const auto& b : t.blocks) writer.append(b);
+    const SpilledTrace s = writer.finish(t.header.trace_end);
+    sync_bytes = slurp(sync_path);  // before ~SpilledTrace unlinks it
+    EXPECT_EQ(s.digest(), t.digest());
+  }
+  {
+    SpillWriterOptions opts;
+    opts.async = true;
+    SpillWriter writer(SpillTarget::named(async_path), t.header, opts);
+    for (const auto& b : t.blocks) writer.append(b);
+    const SpilledTrace s = writer.finish(t.header.trace_end);
+    async_bytes = slurp(async_path);
+    EXPECT_EQ(s.digest(), t.digest());
+  }
+  ASSERT_FALSE(sync_bytes.empty());
+  EXPECT_EQ(sync_bytes, async_bytes);
+}
+
+TEST_F(SpillTest, AsyncWithMemoryTierMatchesDigestAndStream) {
+  const TraceFile t = sample(20);
+  SpillBudget budget(7 * (8 * Record::kEncodedSize + 64));
+  const SpilledTrace s = spill_tiered(t, budget, /*async=*/true);
+  EXPECT_GT(s.write_stats().mem_blocks, 0u);
+  EXPECT_GT(s.write_stats().disk_blocks, 0u);
+  EXPECT_EQ(s.digest(), t.digest());
+  expect_stream_matches(s, t);
+}
+
+TEST_F(SpillTest, PrefetchOffStreamsIdenticalBytes) {
+  const TraceFile t = sample(14);
+  SpillBudget budget(0);  // all-disk, so prefetch actually engages
+  const SpilledTrace s = spill_tiered(t, budget);
+  expect_stream_matches(s, t, /*prefetch=*/true);
+  expect_stream_matches(s, t, /*prefetch=*/false);
+}
+
+// Crash with a memory tier: the resident head is lost with the process, but
+// the named disk file is still a self-consistent trace of the spilled tail —
+// complete frames recover, a torn final frame drops.
+TEST_F(SpillTest, TornTailWithMemoryHeadRecoversDiskFrames) {
+  const TraceFile t = sample(12);
+  SpillBudget budget(5 * (8 * Record::kEncodedSize + 64));
+  std::uint64_t disk_blocks = 0;
+  {
+    SpillWriterOptions opts;
+    opts.budget = &budget;
+    SpillWriter writer(SpillTarget::named(path_), t.header, opts);
+    for (const auto& b : t.blocks) writer.append(b);
+    // Crash: destroyed unfinished.  Count how many blocks overflowed.
+    disk_blocks = 12 - 5;
+  }
+  ASSERT_GT(file_size(), 0u);
+  truncate_to(file_size() - 30);  // tear into the last disk frame
+
+  bool truncated = false;
+  const SpilledTrace s =
+      SpilledTrace::open(path_, /*tolerant=*/true, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(s.blocks.size(), disk_blocks - 1);
+  CollectSink sink;
+  EXPECT_EQ(stream_postprocess(s, {&sink}),
+            (disk_blocks - 1) * t.blocks[0].records.size());
+}
+
+TEST_F(SpillTest, EmptyAnonymousSpillCreatesNoFile) {
+  TraceFile t = sample(0);
+  SpillBudget budget(1 << 20);
+  const SpilledTrace s = spill_tiered(t, budget);
+  EXPECT_TRUE(s.path().empty());
+  EXPECT_EQ(s.digest(), t.digest());
+  CollectSink sink;
+  EXPECT_EQ(stream_postprocess(s, {&sink}), 0u);
+}
+
 }  // namespace
 }  // namespace charisma::trace

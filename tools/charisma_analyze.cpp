@@ -60,7 +60,8 @@ int usage() {
                "usage: charisma_analyze <trace.chtr> [--report=SECTION] "
                "[--cache=io|compute|combined] [--buffers=N] "
                "[--policy=lru|fifo|ip] [--strided] "
-               "[--trace-mode=streaming|materialized]\n"
+               "[--trace-mode=streaming|materialized] "
+               "[--spill-budget-mb=N] [--spill-dir=DIR]\n"
                "       charisma_analyze --workload=synthetic|replay:<chwl>|"
                "checkpoint [--scale=S] [--seed=N] [--engine-threads=N] "
                "[--chkpoint-*=...] [analysis flags]\n"
@@ -72,10 +73,11 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> known{"report",   "cache",         "buffers",
-                                 "policy",   "strided",       "trace-mode",
-                                 "workload", "dump-workload", "scale",
-                                 "seed",     "engine-threads"};
+  std::vector<std::string> known{
+      "report",   "cache",         "buffers", "policy",
+      "strided",  "trace-mode",    "workload", "dump-workload",
+      "scale",    "seed",          "engine-threads",
+      "spill-budget-mb", "spill-dir"};
   for (const auto& name : workload::checkpoint_flag_names()) {
     known.push_back(name);
   }
@@ -125,6 +127,10 @@ int main(int argc, char** argv) {
   // Figure 8 / --cache both replay the filtered op stream; collect it during
   // the streaming merge only when something will consume it.
   const bool want_ops = want("paper") || flags.has("cache");
+  // Streaming spill knobs (study mode and file mode alike).
+  const std::int64_t spill_budget_mb =
+      flags.get_int("spill-budget-mb", core::kDefaultSpillBudgetMb);
+  const std::string spill_dir = flags.get("spill-dir", "");
 
   trace::TraceHeader header;
   std::uint64_t record_count = 0;
@@ -140,6 +146,8 @@ int main(int argc, char** argv) {
       config.source = source_spec;
       config.engine_threads =
           static_cast<int>(flags.get_int("engine-threads", 1));
+      config.spill_budget_mb = spill_budget_mb;
+      config.spill_dir = spill_dir;
       if (mode == core::TraceMode::kStreaming) {
         core::StreamOptions sopts;
         sopts.collect_replay_ops = want_ops;
@@ -172,10 +180,14 @@ int main(int argc, char** argv) {
       record_count = spilled.record_count();
       analysis::SessionAccumulator sessions;
       analysis::RequestSizeAccumulator request_acc;
+      trace::SpillBudget op_budget(spill_budget_mb * (std::int64_t{1} << 20));
       std::optional<cache::ReplayOpSink> op_sink;
       std::vector<trace::RecordSink*> sinks{&sessions, &request_acc};
       if (want_ops) {
-        op_sink.emplace(core::spill_file_path("", "analyze_ops"));
+        cache::ReplayOpSinkOptions oopts;
+        oopts.budget = &op_budget;
+        oopts.dir = spill_dir;
+        op_sink.emplace(std::move(oopts));
         sinks.push_back(&*op_sink);
       }
       (void)trace::stream_postprocess(spilled, sinks);

@@ -72,7 +72,8 @@ int usage() {
                "[--threads=N] [--engine-threads=N] [--queue=bucketed|heap] "
                "[--smoke] [--figures=0|1] [--progress] "
                "[--workload=synthetic|replay:<path>|checkpoint] "
-               "[--chkpoint-*=...] [--out=DIR]\n");
+               "[--chkpoint-*=...] [--spill-budget-mb=N] [--spill-dir=DIR] "
+               "[--out=DIR]\n");
   return 2;
 }
 
@@ -81,7 +82,8 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> known{"seeds",   "scales",   "threads",
                                  "engine-threads", "queue", "smoke",
-                                 "figures", "progress", "workload", "out"};
+                                 "figures", "progress", "workload", "out",
+                                 "spill-budget-mb", "spill-dir"};
   for (const auto& name : workload::checkpoint_flag_names()) {
     known.push_back(name);
   }
@@ -120,6 +122,10 @@ int main(int argc, char** argv) {
   options.threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
   options.collect_figures = flags.get_bool("figures", true);
+  // Per-study memory-tier budget; note campaign RSS scales with
+  // threads x budget when studies overflow it.
+  options.spill_budget_mb = flags.get_int("spill-budget-mb", -1);
+  options.spill_dir = flags.get("spill-dir", "");
   if (options.collect_figures) {
     // How many trace passes the cache figures cost per replication, so
     // throughput comparisons across versions are self-describing.
